@@ -1,0 +1,30 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables/figures, printing the
+series and writing it to ``benchmarks/results/`` so the output survives
+pytest's capture. Heavy simulations run once per benchmark
+(``benchmark.pedantic`` with a single round) — these are model evaluations,
+not microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory collecting the regenerated figures/tables."""
+    RESULTS.mkdir(exist_ok=True)
+    return RESULTS
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a regenerated artefact and persist it."""
+    banner = f"\n{'=' * 74}\n{name}\n{'=' * 74}\n"
+    print(banner + text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,72 @@
+"""Figure 7: utilization vs number of microbatches.
+
+GPT-3 175B on 64 H100s (TP8 x PP8), circular repeat 6: TFLOPS/device as
+gradient accumulation grows from 8 to 512 microbatches, for microbatch
+sizes 1, 2, 4. The §5.1.2 tradeoff: more microbatches shrink the bubble
+(throughput saturates upward) but serialize more work per step.
+"""
+
+import pytest
+
+from repro.perf import GPT3_175B, jaxpp
+
+from .conftest import emit
+
+N_MBS = (8, 16, 32, 64, 128, 256, 512)
+MBS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def fig7_data():
+    return {
+        mbs: {m: jaxpp(GPT3_175B, pp=8, tp=8, dp=1, v=6, mbs=mbs, n_mbs=m).tflops
+              for m in N_MBS}
+        for mbs in MBS
+    }
+
+
+def test_fig7_regenerate(benchmark, results_dir, fig7_data):
+    benchmark.pedantic(
+        lambda: jaxpp(GPT3_175B, pp=8, tp=8, dp=1, v=6, mbs=2, n_mbs=64),
+        rounds=1, iterations=1,
+    )
+    lines = ["GPT-3 175B, TP=8 x PP=8 H100, circular repeat 6",
+             f"{'n_mbs':>6} " + " ".join(f"mbs={m:>4}" for m in MBS)]
+    for m in N_MBS:
+        lines.append(f"{m:>6} " + " ".join(f"{fig7_data[mbs][m]:>8.0f}" for mbs in MBS))
+    emit(results_dir, "fig7_microbatches", "\n".join(lines))
+
+
+def test_fig7_monotone_rise(benchmark, fig7_data):
+    def check():
+        for mbs in MBS:
+            series = [fig7_data[mbs][m] for m in N_MBS]
+            assert all(a < b for a, b in zip(series, series[1:])), mbs
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_fig7_saturation(benchmark, fig7_data):
+    def check():
+        for mbs in MBS:
+            first_gain = fig7_data[mbs][16] - fig7_data[mbs][8]
+            last_gain = fig7_data[mbs][512] - fig7_data[mbs][256]
+            assert last_gain < 0.25 * first_gain
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_fig7_mbs_ordering(benchmark, fig7_data):
+    def check():
+        for m in N_MBS:
+            assert fig7_data[1][m] < fig7_data[2][m] < fig7_data[4][m]
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_fig7_saturated_band(benchmark, fig7_data):
+    def check():
+        # the saturated mbs=2 curve approaches the paper's ~450 level
+        assert fig7_data[2][512] == pytest.approx(450, rel=0.10)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

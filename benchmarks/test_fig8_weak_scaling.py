@@ -1,0 +1,74 @@
+"""Figure 8: weak scaling, 64 -> 1024 GPUs (GBS = 2 x #GPUs).
+
+JaxPP (TP8 x PP8, interleaved v=6, GA 32, growing DP) against JAX FSDP.
+The paper reports 92.87% weak-scaling efficiency for JaxPP vs 93.97% for
+FSDP, with JaxPP ahead in absolute throughput at every point.
+"""
+
+import pytest
+
+from repro.perf import GPT3_175B, jax_fsdp, jaxpp
+
+from .conftest import emit
+
+SCALES = ((64, 1), (128, 2), (256, 4), (512, 8), (1024, 16))
+PAPER_JAXPP = {64: 462, 128: 457, 256: 452, 512: 454, 1024: 430}
+PAPER_FSDP = {64: 415, 128: 412, 256: 404, 512: 400, 1024: 390}
+
+
+@pytest.fixture(scope="module")
+def fig8_data():
+    rows = []
+    for gpus, dp in SCALES:
+        j = jaxpp(GPT3_175B, pp=8, tp=8, dp=dp, v=6, mbs=4, n_mbs=32)
+        f = jax_fsdp(GPT3_175B, gpus, 2 * gpus, fsdp_group=min(gpus, 128))
+        rows.append((gpus, j, f))
+    return rows
+
+
+def test_fig8_regenerate(benchmark, results_dir, fig8_data):
+    benchmark.pedantic(
+        lambda: jaxpp(GPT3_175B, pp=8, tp=8, dp=2, v=6, mbs=4, n_mbs=32),
+        rounds=1, iterations=1,
+    )
+    lines = ["GPT-3 175B weak scaling, global batch = 2 x #GPUs",
+             f"{'#GPUs':>6} {'JaxPP TF/dev':>13} {'(paper)':>8} {'FSDP TF/dev':>12} {'(paper)':>8}"]
+    for gpus, j, f in fig8_data:
+        lines.append(
+            f"{gpus:>6} {j.tflops:>13.0f} {PAPER_JAXPP[gpus]:>8} "
+            f"{f.tflops:>12.0f} {PAPER_FSDP[gpus]:>8}"
+        )
+    j64, j1024 = fig8_data[0][1].tflops, fig8_data[-1][1].tflops
+    f64, f1024 = fig8_data[0][2].tflops, fig8_data[-1][2].tflops
+    lines.append(f"\nweak-scaling efficiency 64->1024: "
+                 f"JaxPP {j1024 / j64:.2%} (paper 92.87%), "
+                 f"FSDP {f1024 / f64:.2%} (paper 93.97%)")
+    emit(results_dir, "fig8_weak_scaling", "\n".join(lines))
+
+
+def test_fig8_jaxpp_leads_at_every_scale(benchmark, fig8_data):
+    def check():
+        for gpus, j, f in fig8_data:
+            assert j.tflops > f.tflops, gpus
+            assert j.step_time < f.step_time, gpus
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_fig8_efficiencies_in_band(benchmark, fig8_data):
+    def check():
+        j_eff = fig8_data[-1][1].tflops / fig8_data[0][1].tflops
+        f_eff = fig8_data[-1][2].tflops / fig8_data[0][2].tflops
+        assert j_eff == pytest.approx(0.9287, abs=0.035)
+        assert f_eff == pytest.approx(0.9397, abs=0.035)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_fig8_absolute_bands(benchmark, fig8_data):
+    def check():
+        for gpus, j, f in fig8_data:
+            assert j.tflops == pytest.approx(PAPER_JAXPP[gpus], rel=0.10), gpus
+            assert f.tflops == pytest.approx(PAPER_FSDP[gpus], rel=0.10), gpus
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

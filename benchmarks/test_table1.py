@@ -1,0 +1,105 @@
+"""Table 1: full training-performance table, paper vs model.
+
+Every row of the paper's Table 1 regenerated: step time and TFLOPS/device
+for JaxPP, JAX FSDP, JAX SPMD PP, and NeMo on GPT-3 175B and Llama2 70B.
+"""
+
+import pytest
+
+from repro.perf import GPT3_175B, LLAMA2_70B, jax_fsdp, jax_spmd_pp, jaxpp, nemo
+
+from .conftest import emit
+
+# (system, model, GBS, GA, GPUs, PP, TP, DP, FSDP, paper step, paper TF)
+ROWS = [
+    ("JaxPP", "gpt3", 128, 32, 64, 8, 8, 1, 1, 9.53, 462),
+    ("JaxPP", "gpt3", 256, 32, 128, 8, 8, 2, 1, 9.64, 457),
+    ("JaxPP", "gpt3", 512, 32, 256, 8, 8, 4, 1, 9.74, 452),
+    ("JaxPP", "gpt3", 1024, 32, 512, 8, 8, 8, 1, 9.71, 454),
+    ("JaxPP", "gpt3", 2048, 32, 1024, 8, 8, 16, 1, 10.26, 430),
+    ("JAX FSDP", "gpt3", 128, 1, 64, 1, 1, 1, 64, 10.63, 415),
+    ("JAX FSDP", "gpt3", 256, 1, 128, 1, 1, 1, 128, 10.70, 412),
+    ("JAX FSDP", "gpt3", 512, 1, 256, 1, 1, 2, 128, 10.91, 404),
+    ("JAX FSDP", "gpt3", 1024, 1, 512, 1, 1, 4, 128, 11.01, 400),
+    ("JAX FSDP", "gpt3", 2048, 1, 1024, 1, 1, 8, 128, 11.30, 390),
+    ("JAX SPMD PP", "gpt3", 256, 128, 128, 16, 4, 2, 1, 13.96, 316),
+    ("NeMo", "gpt3", 256, 64, 128, 8, 4, 4, 1, 9.78, 500),
+    ("JaxPP", "llama2", 128, 16, 64, 4, 8, 2, 1, 8.42, 432),
+    ("JAX FSDP", "llama2", 128, 1, 64, 1, 1, 1, 64, 8.44, 431),
+    ("NeMo", "llama2", 128, 32, 64, 4, 4, 4, 1, 7.02, 519),
+]
+
+
+def _run_row(system, model_key, gbs, ga, gpus, pp, tp, dp, fsdp):
+    model = GPT3_175B if model_key == "gpt3" else LLAMA2_70B
+    if system == "JaxPP":
+        v = 6 if model_key == "gpt3" else 5
+        mbs = gbs // (ga * dp)
+        return jaxpp(model, pp=pp, tp=tp, dp=dp, v=v, mbs=mbs, n_mbs=ga)
+    if system == "JAX FSDP":
+        return jax_fsdp(model, gpus, gbs, fsdp_group=fsdp)
+    if system == "JAX SPMD PP":
+        mbs = gbs // (ga * dp)
+        return jax_spmd_pp(model, pp=pp, tp=tp, dp=dp, mbs=mbs, n_mbs=ga)
+    if system == "NeMo":
+        v = 2 if model_key == "gpt3" else 4
+        mbs = gbs // (ga * dp)
+        return nemo(model, pp=pp, tp=tp, dp=dp, v=v, mbs=mbs, n_mbs=ga)
+    raise ValueError(system)
+
+
+@pytest.fixture(scope="module")
+def table1_data():
+    return [
+        (row, _run_row(*row[:9]))
+        for row in ROWS
+    ]
+
+
+def test_table1_regenerate(benchmark, results_dir, table1_data):
+    benchmark.pedantic(
+        lambda: _run_row("JaxPP", "gpt3", 128, 32, 64, 8, 8, 1, 1),
+        rounds=1, iterations=1,
+    )
+    lines = [
+        f"{'System':<12} {'Model':<7} {'GBS':>5} {'GA':>4} {'GPUs':>5} "
+        f"{'PP':>3} {'TP':>3} {'DP':>3} {'FSDP':>5} "
+        f"{'step(s)':>8} {'paper':>6} {'TF/dev':>7} {'paper':>6}"
+    ]
+    for row, r in table1_data:
+        system, model_key, gbs, ga, gpus, pp, tp, dp, fsdp, p_step, p_tf = row
+        lines.append(
+            f"{system:<12} {model_key:<7} {gbs:>5} {ga:>4} {gpus:>5} "
+            f"{pp:>3} {tp:>3} {dp:>3} {fsdp:>5} "
+            f"{r.step_time:>8.2f} {p_step:>6.2f} {r.reported_tflops:>7.0f} {p_tf:>6}"
+        )
+    emit(results_dir, "table1", "\n".join(lines))
+
+
+def test_table1_step_times_in_band(benchmark, table1_data):
+    def check():
+        for row, r in table1_data:
+            paper_step = row[9]
+            assert r.step_time == pytest.approx(paper_step, rel=0.12), row[:2]
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_table1_tflops_in_band(benchmark, table1_data):
+    def check():
+        for row, r in table1_data:
+            paper_tf = row[10]
+            assert r.reported_tflops == pytest.approx(paper_tf, rel=0.12), row[:2]
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_table1_gpt3_ranking_preserved(benchmark, table1_data):
+    def check():
+        by = {(row[0], row[1], row[2]): r for row, r in table1_data}
+        spmd = by[("JAX SPMD PP", "gpt3", 256)]
+        fsdp = by[("JAX FSDP", "gpt3", 256)]
+        jx = by[("JaxPP", "gpt3", 256)]
+        assert spmd.step_time > fsdp.step_time > jx.step_time
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,108 @@
+"""User-defined pipeline schedules (§4.2, §6).
+
+The paper's flexibility claim: schedules are *data* — a per-actor list of
+``Task(i, ty, stage)`` — so new ones need only a ``Schedule`` subclass;
+task-graph unrolling, communication inference, liveness, and the runtime
+are unchanged. This script defines two custom schedules:
+
+- ``GPipeFIFO``: GPipe whose backward phase drains microbatches in FIFO
+  order (plain GPipe uses LIFO) — a two-line change;
+- ``EagerFlush``: 1F1B whose cooldown interleaves remaining forwards as
+  early as dependencies allow.
+
+Both are validated by the generic checker and executed end to end,
+matching the single-device reference exactly — no compiler or runtime
+changes required.
+
+Run: ``python examples/custom_schedule.py``
+"""
+
+import numpy as np
+
+from repro import core, ir
+from repro.core.schedules import Unit, validate_schedule
+from repro.data import regression_batches
+from repro.models import init_mlp, mlp_loss
+from repro.viz import render_schedule
+
+N_STAGES, N_MBS, MBSZ, D = 3, 6, 8, 10
+
+
+class GPipeFIFO(core.GPipe):
+    """GPipe draining backwards in microbatch order instead of reverse."""
+
+    def units(self, n_mbs):
+        out = []
+        for actor in range(self.n_actors):
+            seq = [Unit(i, actor, "fwd") for i in range(n_mbs)]
+            seq += [Unit(i, actor, "bwd") for i in range(n_mbs)]  # FIFO
+            out.append(seq)
+        return out
+
+    @property
+    def name(self):
+        return "GPipeFIFO"
+
+
+class EagerFlush(core.OneFOneB):
+    """1F1B variant: once the steady state ends, issue every remaining
+    forward before the remaining backwards (more activation memory, can
+    start downstream actors earlier)."""
+
+    def units(self, n_mbs):
+        out = []
+        p = self.n_actors
+        for rank in range(p):
+            warmup = min(p - 1 - rank, n_mbs)
+            seq = [Unit(i, rank, "fwd") for i in range(warmup)]
+            nf, nb = warmup, 0
+            steady = n_mbs - warmup
+            for _ in range(steady):
+                seq.append(Unit(nf, rank, "fwd"))
+                nf += 1
+                seq.append(Unit(nb, rank, "bwd"))
+                nb += 1
+            # cooldown: flush all remaining work, forwards first
+            seq += [Unit(i, rank, "fwd") for i in range(nf, n_mbs)]
+            seq += [Unit(i, rank, "bwd") for i in range(nb, n_mbs)]
+            out.append(seq)
+        return out
+
+    @property
+    def name(self):
+        return "EagerFlush"
+
+
+def main() -> None:
+    params = init_mlp(np.random.RandomState(0), N_STAGES, D, D, D)
+    batch = next(regression_batches(D, D, N_MBS, MBSZ, 1, seed=1))
+
+    def train_step(params, batch):
+        def mg(mb):
+            loss, grads = ir.value_and_grad(lambda p, m: mlp_loss(p, m, N_STAGES))(params, mb)
+            return grads, loss
+
+        grads, losses = core.accumulate_grads(mg, None)(batch)
+        new = ir.tree_map(lambda w, g: w - 0.05 * g, params, grads)
+        return new, losses
+
+    ref_params, ref_losses = train_step(params, batch)
+
+    for schedule in (GPipeFIFO(N_STAGES), EagerFlush(N_STAGES)):
+        validate_schedule(schedule, N_MBS)  # completeness + deadlock-freedom
+        print(f"--- {schedule.name} (validated) ---")
+        print(render_schedule(schedule, N_MBS))
+
+        step_fn = core.RemoteMesh((N_STAGES,)).distributed(train_step, schedule=schedule)
+        out_params, out_losses = step_fn(params, batch)
+        err = max(float(np.abs(a - b).max())
+                  for a, b in zip(ir.tree_leaves(out_params), ir.tree_leaves(ref_params)))
+        print(f"max |custom schedule - single device| = {err:.2e}")
+        assert err < 1e-5
+        print()
+
+    print("custom schedules run through the unchanged compiler/runtime: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Plan a GPT-3 175B training run on DGX-H100s with the performance model.
+
+Uses the calibrated simulator behind the paper's evaluation to answer the
+practical question §5.1 is about: *given a GPU budget, which parallelism
+configuration should you run?* Sweeps (pp, tp, v, mbs) for a fixed global
+batch, reports predicted step time / TFLOPS / memory-remat status, and
+prints the winner next to the paper's published configuration.
+
+Run: ``python examples/paper_scale_planner.py``
+"""
+
+from repro.perf import GPT3_175B, jaxpp
+
+N_GPUS = 64
+GBS = 128
+
+
+def main() -> None:
+    print(f"planning GPT-3 175B on {N_GPUS} H100s, global batch {GBS}\n")
+    print(f"{'pp':>3} {'tp':>3} {'v':>3} {'mbs':>4} {'GA':>4} "
+          f"{'step(s)':>8} {'TF/dev':>7} {'remat':>6} {'bubble%':>8}")
+
+    rows = []
+    for pp, tp in [(8, 8), (4, 8), (8, 4), (16, 4)]:
+        if pp * tp != N_GPUS:
+            continue
+        for v in (1, 2, 3, 6, 12):
+            if GPT3_175B.n_layers % (pp * v) != 0:
+                continue
+            for mbs in (1, 2, 4):
+                n_mbs = GBS // mbs
+                if n_mbs % pp != 0:
+                    continue
+                r = jaxpp(GPT3_175B, pp=pp, tp=tp, dp=1, v=v, mbs=mbs, n_mbs=n_mbs)
+                bubble = r.sim.breakdown["bubble"] / r.sim.makespan * 100
+                rows.append((r.step_time, pp, tp, v, mbs, n_mbs, r, bubble))
+
+    rows.sort()
+    for step, pp, tp, v, mbs, n_mbs, r, bubble in rows[:12]:
+        print(f"{pp:>3} {tp:>3} {v:>3} {mbs:>4} {n_mbs:>4} "
+              f"{step:>8.2f} {r.tflops:>7.0f} {r.sim.remat.kind:>6} {bubble:>7.1f}%")
+
+    best = rows[0]
+    print(f"\nbest found : pp={best[1]} tp={best[2]} v={best[3]} mbs={best[4]} "
+          f"-> {best[0]:.2f}s ({best[6].tflops:.0f} TF/dev)")
+    print("paper's run: pp=8  tp=8 v=6 mbs=4 -> 9.53s (462 TF/dev)")
+
+
+if __name__ == "__main__":
+    main()

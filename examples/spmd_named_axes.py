@@ -1,0 +1,59 @@
+"""Figure 1, live: one model, three parallelism strategies, zero rewrites.
+
+The paper's §2.1 demonstration: the FFN is written once with *logical*
+axis names; instantiating it data-parallel, tensor-parallel (Megatron
+style), or 2-D is purely a matter of the mesh shape and the logical-axis
+rules. The script shows the per-device programs the partitioner generates —
+including the all-reduce XLA would insert — and verifies every variant
+against single-device execution.
+
+Run: ``python examples/spmd_named_axes.py``
+"""
+
+import numpy as np
+
+from repro import ir, spmd
+from repro.models import ffn
+
+RULES = {"batch": "data", "mlp": "model", "emb": None}
+IN_SPECS = [("batch", "emb"), ("emb", "mlp"), ("mlp", "emb")]
+
+
+def main() -> None:
+    r = np.random.RandomState(0)
+    X = r.randn(8, 16).astype(np.float32)
+    W1 = r.randn(16, 32).astype(np.float32)
+    W2 = r.randn(32, 16).astype(np.float32)
+
+    jaxpr, _, _ = ir.trace(ffn, X, W1, W2)
+    print("the model, traced once:")
+    print(jaxpr)
+    ref = ffn(X, W1, W2)
+
+    for label, axes in [
+        ("data parallel   [('data', 2), ('model', 1)]", [("data", 2), ("model", 1)]),
+        ("tensor parallel [('data', 1), ('model', 2)]", [("data", 1), ("model", 2)]),
+        ("2-D             [('data', 2), ('model', 2)]", [("data", 2), ("model", 2)]),
+    ]:
+        mesh = spmd.Mesh(axes)
+        prog = spmd.partition(jaxpr, mesh, in_specs=IN_SPECS, rules=RULES)
+        ex = spmd.SpmdExecutor(mesh)
+        out = ex.run(prog, [X, W1, W2])[0]
+        err = float(np.abs(out - ref).max())
+
+        colls = [e.prim.name for e in prog.local_jaxpr.eqns
+                 if e.prim.name in ("all_reduce", "all_gather", "mesh_split", "reduce_scatter")]
+        shards = [v.aval.shape for v in prog.local_jaxpr.invars]
+        print("=" * 72)
+        print(f"{label}")
+        print(f"  per-device input shards : X{shards[0]} W1{shards[1]} W2{shards[2]}")
+        print(f"  collectives inserted    : {colls or 'none'}")
+        print(f"  collective stats        : {ex.stats.counts} ({sum(ex.stats.bytes.values())} B)")
+        print(f"  max |parallel - single| : {err:.2e}")
+        assert err < 1e-4
+
+    print("\nall three instantiations match the single-device model: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Train a mini-GPT with pipeline parallelism, tied embeddings, and Adam.
+
+This is the paper's headline workload shrunk to laptop scale: a decoder-
+only transformer cut into pipeline stages with ``pipeline_yield``, trained
+with ``accumulate_grads`` + Adam under an Interleaved 1F1B schedule on a
+2-actor mesh with 2 data-parallel replicas (4 actors total). Tied
+embeddings put the same weight on the first and last stage, so the §3.4
+loop-commuting pass kicks in — the script prints how many gradients were
+commuted and the per-step P2P traffic.
+
+Run: ``python examples/transformer_pipeline.py``
+"""
+
+import numpy as np
+
+from repro import core, ir
+from repro.data import token_batches
+from repro.models import (
+    TrainState,
+    TransformerConfig,
+    adam_apply,
+    adam_init,
+    constant_lr,
+    init_transformer,
+    transformer_loss,
+)
+
+CFG = TransformerConfig(
+    vocab=64, seq=12, d_model=32, n_heads=4, d_ff=64,
+    n_layers=4, n_stages=4, tie_embeddings=True,
+)
+N_MBS, MBSZ = 4, 8
+SCHEDULE = core.Interleaved1F1B(n_actors=2, circular_repeat=2)  # 4 stages on 2 actors
+DP = 2
+
+
+def train_step(state: TrainState, batch):
+    def microbatch_grads(mubatch):
+        loss, grads = ir.value_and_grad(
+            lambda p, mb: transformer_loss(p, mb, CFG)
+        )(state.params, mubatch)
+        return grads, loss
+
+    grads, losses = core.accumulate_grads(microbatch_grads, SCHEDULE)(batch)
+    new_state = adam_apply(state, grads, constant_lr(3e-3)(state.step))
+    return new_state, losses
+
+
+def main() -> None:
+    params = init_transformer(np.random.RandomState(0), CFG)
+    state = TrainState(params, adam_init(params), np.int32(0))
+
+    mesh = core.RemoteMesh((DP, SCHEDULE.n_actors))
+    step_fn = mesh.distributed(train_step)
+
+    n_params = sum(int(np.asarray(p).size) for p in ir.tree_leaves(params))
+    print(f"mini-GPT: {n_params/1e3:.1f}k params, {CFG.n_layers} layers, "
+          f"{CFG.n_stages} stages on {SCHEDULE.n_actors} actors x {DP} replicas")
+    print(f"schedule: {SCHEDULE.name}")
+
+    losses_hist = []
+    for i, batch in enumerate(token_batches(CFG.vocab, CFG.seq, N_MBS, MBSZ, 30, seed=2)):
+        state, losses = step_fn(state, batch)
+        loss = float(np.mean(losses))
+        losses_hist.append(loss)
+        if i % 5 == 0:
+            print(f"step {i:>3}: loss {loss:.4f}")
+
+    c = step_fn.compiled
+    print(f"\nfinal loss  : {losses_hist[-1]:.4f} (from {losses_hist[0]:.4f})")
+    print(f"commuted shared-weight gradients (§3.4): {c.n_commuted}")
+    print(f"instructions: {c.instruction_counts}")
+    print(f"P2P per step: {step_fn.last_result.p2p_count} transfers")
+    assert losses_hist[-1] < losses_hist[0], "training must reduce the loss"
+    assert c.n_commuted >= 1, "tied embeddings must trigger loop commuting"
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

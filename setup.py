@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` also works on
+offline machines whose setuptools lacks the ``wheel`` package required by
+PEP 660 editable builds (fall back with
+``pip install -e . --no-use-pep517 --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro — reproduction of "Scaling Deep Learning Training with MPMD Pipeline
+Parallelism" (JaxPP, MLSys 2025).
+
+The package is organised as a stack of substrates mirroring the paper's
+system diagram:
+
+- :mod:`repro.ir` — a from-scratch mini-JAX: tracer, typed dataflow IR
+  ("Jaxpr"), NumPy interpreter, reverse-mode autodiff, and the
+  ``pipeline_yield`` stage-marking primitive.
+- :mod:`repro.spmd` — a GSPMD-style named-axis sharding layer: device
+  meshes, partition specs, sharding propagation, and a lock-step
+  multi-device SPMD executor that inserts collectives automatically.
+- :mod:`repro.core` — the paper's contribution: stage splitting, placement
+  inference, pipeline schedules (GPipe / 1F1B / Interleaved 1F1B),
+  the ``accumulate_grads`` loop, loop commuting for shared weights, task
+  graph construction, send/recv inference, buffer liveness, task fusion,
+  and the ``RemoteMesh.distributed`` driver API.
+- :mod:`repro.runtime` — the single-controller MPMD runtime: per-actor
+  fused instruction streams, ordered P2P channels, object stores, and a
+  deterministic dataflow executor that doubles as a discrete-event
+  performance simulator.
+- :mod:`repro.cluster` / :mod:`repro.perf` — hardware topology and the
+  analytic performance model used to regenerate the paper's evaluation
+  (Figures 6-10 and Table 1) at DGX-H100 scale.
+- :mod:`repro.models` — example networks (FFN, mini-GPT) written against
+  the public API with logical-axis sharding annotations.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,10 @@
+"""Hardware substrate: published DGX-H100/EOS specs and actor topology."""
+
+from repro.cluster.specs import DGX_H100, EOS, H100_SXM, ClusterSpec, GpuSpec, NodeSpec
+from repro.cluster.topology import Link, Topology
+
+__all__ = [
+    "GpuSpec", "NodeSpec", "ClusterSpec",
+    "H100_SXM", "DGX_H100", "EOS",
+    "Topology", "Link",
+]

@@ -1,0 +1,89 @@
+"""Hardware constants for the paper's testbed (NVIDIA EOS, §5).
+
+All numbers are published specs: DGX H100 nodes (8x H100-SXM 80GB,
+NVLink4/NVSwitch intra-node) on an InfiniBand NDR400 fabric with a
+400 Gb/s rail per GPU. The performance model consumes only these
+constants, so retargeting to another cluster is a one-dataclass change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["GpuSpec", "NodeSpec", "ClusterSpec", "H100_SXM", "DGX_H100", "EOS"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GpuSpec:
+    """One accelerator.
+
+    Attributes:
+        name: marketing name.
+        bf16_tflops: dense BF16 peak in TFLOP/s (no sparsity).
+        hbm_bytes: device memory capacity.
+        hbm_bw: device memory bandwidth, bytes/s.
+        nvlink_bw: NVLink bandwidth per GPU per direction, bytes/s.
+    """
+
+    name: str
+    bf16_tflops: float
+    hbm_bytes: float
+    hbm_bw: float
+    nvlink_bw: float
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak in FLOP/s."""
+        return self.bf16_tflops * 1e12
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeSpec:
+    """One server.
+
+    Attributes:
+        gpu: the accelerator model.
+        gpus_per_node: accelerator count.
+        ib_bw_per_gpu: internode bandwidth available per GPU (one NDR400
+            rail each on DGX H100), bytes/s per direction.
+        ib_latency: internode message latency, seconds.
+        nvlink_latency: intranode P2P latency, seconds.
+    """
+
+    gpu: GpuSpec
+    gpus_per_node: int
+    ib_bw_per_gpu: float
+    ib_latency: float = 5e-6
+    nvlink_latency: float = 2e-6
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterSpec:
+    """A cluster of identical nodes."""
+
+    name: str
+    node: NodeSpec
+    n_nodes: int
+
+    @property
+    def n_gpus(self) -> int:
+        """Total accelerator count."""
+        return self.n_nodes * self.node.gpus_per_node
+
+
+H100_SXM = GpuSpec(
+    name="H100-SXM",
+    bf16_tflops=989.4,
+    hbm_bytes=80e9,
+    hbm_bw=3.35e12,
+    nvlink_bw=450e9,
+)
+
+DGX_H100 = NodeSpec(
+    gpu=H100_SXM,
+    gpus_per_node=8,
+    ib_bw_per_gpu=50e9,  # NDR400: 400 Gb/s = 50 GB/s per GPU rail
+)
+
+# EOS (TOP500 #9 at the time of the paper): 576 DGX H100 nodes.
+EOS = ClusterSpec(name="EOS", node=DGX_H100, n_nodes=576)

@@ -1,0 +1,82 @@
+"""Cluster topology: mapping actors onto nodes and links.
+
+The paper instantiates one JaxPP actor per DGX node ("JaxPP attempts to
+group devices so that those assigned to an SPMD actor are connected
+through a high-bandwidth interconnect", §3): tensor parallelism runs over
+NVLink inside the actor, pipeline/data parallelism over InfiniBand between
+actors. :class:`Topology` answers the two questions the cost models ask —
+*are two actors on the same node?* and *what bandwidth/latency connects
+them?*
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cluster.specs import ClusterSpec, NodeSpec
+
+__all__ = ["Topology", "Link"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Link:
+    """A point-to-point path between two actors."""
+
+    bandwidth: float  # bytes/s per direction
+    latency: float  # seconds
+    kind: str  # "nvlink" | "ib" | "self"
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` one way."""
+        if self.kind == "self":
+            return 0.0
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclasses.dataclass(frozen=True)
+class Topology:
+    """Actors placed on a cluster.
+
+    Attributes:
+        cluster: the hardware.
+        gpus_per_actor: devices grouped into one SPMD actor (8 = one DGX
+            node, the paper's configuration).
+    """
+
+    cluster: ClusterSpec
+    gpus_per_actor: int
+
+    @property
+    def node(self) -> NodeSpec:
+        """Node spec shorthand."""
+        return self.cluster.node
+
+    @property
+    def actors_per_node(self) -> int:
+        """How many actors share one node (usually 1)."""
+        return max(1, self.node.gpus_per_node // self.gpus_per_actor)
+
+    def node_of_actor(self, actor: int) -> int:
+        """Which node hosts this actor."""
+        return actor // self.actors_per_node
+
+    def link(self, src: int, dst: int) -> Link:
+        """The path between two actors."""
+        if src == dst:
+            return Link(float("inf"), 0.0, "self")
+        if self.node_of_actor(src) == self.node_of_actor(dst):
+            return Link(self.node.gpu.nvlink_bw, self.node.nvlink_latency, "nvlink")
+        # Per-GPU rail bandwidth aggregates across the GPUs of an actor:
+        # stage boundaries are sharded over TP, each GPU ships its shard on
+        # its own rail, so the *per-GPU* share is what matters and we model
+        # the per-shard transfer at rail speed.
+        return Link(self.node.ib_bw_per_gpu, self.node.ib_latency, "ib")
+
+    def validate(self, n_actors: int) -> None:
+        """Check the cluster is large enough for ``n_actors``."""
+        need_nodes = (n_actors + self.actors_per_node - 1) // self.actors_per_node
+        if need_nodes > self.cluster.n_nodes:
+            raise ValueError(
+                f"{n_actors} actors need {need_nodes} nodes; "
+                f"{self.cluster.name} has {self.cluster.n_nodes}"
+            )

@@ -1,0 +1,43 @@
+"""JaxPP core: the paper's contribution.
+
+User API (Figure 4)::
+
+    from repro import core
+    from repro.ir import pipeline_yield
+
+    def train_step(state, batch):
+        def microbatch_grads(mubatch):
+            (loss, _), grads = ir.value_and_grad(loss_fn, has_aux=True)(...)
+            return grads, loss
+        grads, loss = core.accumulate_grads(
+            microbatch_grads, core.Interleaved1F1B(2, 2))(batch)
+        ...
+
+    mesh = core.RemoteMesh((2,))
+    step_fn = mesh.distributed(train_step)
+"""
+
+from repro.core.accumulate import ADD, STACK, accumulate_grads, pipeline_loop_p, reference_loop
+from repro.core.api import RemoteMesh, StepFunction
+from repro.core.compile import CompiledStep, compile_train_step
+from repro.core.loop_commute import CombineSpec, CommuteResult, commute_shared_gradients
+from repro.core.schedules import (
+    GPipe,
+    Interleaved1F1B,
+    OneFOneB,
+    Schedule,
+    Unit,
+    schedule_stats,
+    validate_schedule,
+)
+from repro.core.stage_split import SplitResult, StageTask, split_stages
+
+__all__ = [
+    "accumulate_grads", "reference_loop", "pipeline_loop_p", "ADD", "STACK",
+    "RemoteMesh", "StepFunction",
+    "compile_train_step", "CompiledStep",
+    "commute_shared_gradients", "CommuteResult", "CombineSpec",
+    "Schedule", "GPipe", "OneFOneB", "Interleaved1F1B", "Unit",
+    "validate_schedule", "schedule_stats",
+    "split_stages", "SplitResult", "StageTask",
+]

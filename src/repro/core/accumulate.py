@@ -1,0 +1,206 @@
+"""The gradient-accumulation loop construct (§3.1, Figure 4).
+
+``accumulate_grads(fn, schedule)`` returns a callable that applies ``fn``
+to every microbatch of its ``batch`` argument and combines the per-
+microbatch outputs — summing gradients, collecting losses — exactly like
+the reference loop in the paper:
+
+    grads = zeros_like(state.params)
+    loss = []
+    for i in range(batch.shape[0]):
+        mugrads, muloss = microbatch_grads(batch[i])
+        grads += mugrads
+        loss.append(muloss)
+
+Under a trace it records a single structured ``pipeline_loop`` equation
+holding the traced body (with its ``pipeline_yield`` markers), the
+schedule, and the output combine ops. The MPMD compiler
+(:mod:`repro.core.compile`) pattern-matches this equation and unrolls it
+into the scheduled task graph. Evaluated eagerly (or via the reference
+interpreter) it implements the loop above — the single-device semantics
+every distributed execution is tested against.
+
+The restriction to ``add``/``stack`` combine ops is intentional (§3.1): it
+guarantees the loop body cannot create dependencies between earlier stages
+of iteration *i* and later stages of iteration *i-1*, which is what makes
+arbitrary schedules legal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.ir import ops
+from repro.ir.avals import ShapedArray, abstractify
+from repro.ir.primitives import Primitive
+from repro.ir.pytree import tree_flatten, tree_unflatten
+from repro.ir.tracer import current_trace, trace_flat
+from repro.ir.interpreter import eval_jaxpr
+
+__all__ = ["accumulate_grads", "pipeline_loop_p", "ADD", "STACK", "reference_loop"]
+
+ADD = "add"
+STACK = "stack"
+
+pipeline_loop_p = Primitive("pipeline_loop", multiple_results=True)
+
+
+@pipeline_loop_p.def_abstract
+def _loop_abstract(*in_avals, body_jaxpr, n_mbs, n_batch_leaves, out_ops, **_):
+    del in_avals
+    outs = []
+    for atom, op in zip(body_jaxpr.outvars, out_ops):
+        if op == ADD:
+            outs.append(atom.aval)
+        elif op == STACK:
+            outs.append(ShapedArray((n_mbs,) + atom.aval.shape, atom.aval.dtype))
+        else:
+            raise ValueError(f"unknown combine op {op!r}")
+    return outs
+
+
+@pipeline_loop_p.def_impl
+def _loop_impl(*invals, body_jaxpr, n_mbs, n_batch_leaves, out_ops, schedule=None):
+    batch_leaves = invals[:n_batch_leaves]
+    captured = list(invals[n_batch_leaves:])
+    acc: list[Any] = [None] * len(out_ops)
+    stacked: list[list[Any]] = [[] for _ in out_ops]
+    for i in range(n_mbs):
+        mb = [np.asarray(x)[i] for x in batch_leaves]
+        outs = eval_jaxpr(body_jaxpr, mb + captured)
+        for j, (op, o) in enumerate(zip(out_ops, outs)):
+            if op == ADD:
+                acc[j] = o if acc[j] is None else acc[j] + o
+            else:
+                stacked[j].append(o)
+    results = []
+    for j, op in enumerate(out_ops):
+        if op == ADD:
+            results.append(acc[j])
+        else:
+            results.append(np.stack(stacked[j]))
+    return results
+
+
+def reference_loop(fn: Callable[[Any], Any], batch: Any, out_ops_spec: Sequence[str] | None = None) -> Any:
+    """Pure-Python reference semantics of ``accumulate_grads`` (the gold
+    standard the distributed runtime is validated against)."""
+    leaves, _ = tree_flatten(batch)
+    n_mbs = int(np.asarray(leaves[0]).shape[0])
+    out = None
+    for i in range(n_mbs):
+        flat, td = tree_flatten(batch)
+        mb = tree_unflatten(td, [np.asarray(x)[i] for x in flat])
+        res = fn(mb)
+        res_leaves, res_tree = tree_flatten(res)
+        ops_per_leaf = _default_out_ops(res, res_tree, out_ops_spec)
+        if out is None:
+            out = [
+                [leaf] if op == STACK else leaf
+                for leaf, op in zip(res_leaves, ops_per_leaf)
+            ]
+            out_tree = res_tree
+        else:
+            for j, (leaf, op) in enumerate(zip(res_leaves, ops_per_leaf)):
+                if op == STACK:
+                    out[j].append(leaf)
+                else:
+                    out[j] = out[j] + leaf
+    final = [np.stack(o) if isinstance(o, list) else o for o in out]
+    return tree_unflatten(out_tree, final)
+
+
+def _default_out_ops(out: Any, out_tree, out_ops_spec: Sequence[str] | None) -> list[str]:
+    """Per-leaf combine ops.
+
+    Default (matching the paper's API): the body returns
+    ``(grads, *metrics)`` — the first element of the output tuple is summed,
+    everything else is stacked. A flat spec may override this with one op
+    per top-level tuple element.
+    """
+    leaves, _ = tree_flatten(out)
+    if not (isinstance(out, tuple) and len(out) >= 1):
+        return [ADD] * len(leaves)
+    per_elem = list(out_ops_spec) if out_ops_spec is not None else [ADD] + [STACK] * (len(out) - 1)
+    if len(per_elem) != len(out):
+        raise ValueError(
+            f"out_ops has {len(per_elem)} entries for {len(out)} outputs"
+        )
+    result = []
+    for elem, op in zip(out, per_elem):
+        if op not in (ADD, STACK):
+            raise ValueError(f"unknown combine op {op!r}")
+        n = len(tree_flatten(elem)[0])
+        result.extend([op] * n)
+    return result
+
+
+def accumulate_grads(
+    fn: Callable[[Any], Any],
+    schedule: Any = None,
+    out_ops: Sequence[str] | None = None,
+) -> Callable[[Any], Any]:
+    """Build the gradient-accumulation loop over microbatches (§3.1).
+
+    Args:
+        fn: the per-microbatch function (``microbatch_grads`` in Figure 4).
+            Receives one microbatch (the batch pytree with the leading
+            ``n_mbs`` axis removed); returns a tuple whose first element is
+            accumulated by addition (gradients) and whose remaining
+            elements are stacked (losses/metrics). ``fn`` may close over
+            traced values (e.g. ``state.params``).
+        schedule: a :mod:`repro.core.schedules` schedule describing how the
+            unrolled tasks map onto actors. Ignored for single-device
+            (eager/reference) execution, where the loop is sequential.
+        out_ops: optional per-top-level-output combine ops
+            (``"add"``/``"stack"``) overriding the default.
+
+    Returns:
+        ``run(batch) -> outputs`` with every batch leaf shaped
+        ``(n_mbs, ...)``.
+    """
+
+    def run(batch: Any) -> Any:
+        trace = current_trace()
+        if trace is None:
+            return reference_loop(fn, batch, out_ops)
+
+        batch_leaves, batch_tree = tree_flatten(batch)
+        n_mbs = int(abstractify(batch_leaves[0]).shape[0])
+        for leaf in batch_leaves:
+            if abstractify(leaf).shape[:1] != (n_mbs,):
+                raise ValueError(
+                    "all batch leaves must share the leading microbatch axis"
+                )
+
+        out_tree_cell: dict[str, Any] = {}
+
+        def body_flat(*mb_leaves: Any) -> list[Any]:
+            mb = tree_unflatten(batch_tree, list(mb_leaves))
+            out = fn(mb)
+            leaves, tree = tree_flatten(out)
+            out_tree_cell["tree"] = tree
+            out_tree_cell["out"] = out
+            return leaves
+
+        mb_avals = [
+            ShapedArray(abstractify(leaf).shape[1:], abstractify(leaf).dtype)
+            for leaf in batch_leaves
+        ]
+        body_jaxpr, free_vals = trace_flat(body_flat, mb_avals, name="pipeline_body")
+        ops_per_leaf = _default_out_ops(out_tree_cell["out"], out_tree_cell["tree"], out_ops)
+
+        outs = pipeline_loop_p.bind(
+            *batch_leaves,
+            *free_vals,
+            body_jaxpr=body_jaxpr,
+            n_mbs=n_mbs,
+            n_batch_leaves=len(batch_leaves),
+            out_ops=tuple(ops_per_leaf),
+            schedule=schedule,
+        )
+        return tree_unflatten(out_tree_cell["tree"], outs)
+
+    return run

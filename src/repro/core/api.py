@@ -1,0 +1,223 @@
+"""Driver-facing API: ``RemoteMesh`` and ``distributed`` (Figure 4, §4.1).
+
+The user experience the paper promises::
+
+    mesh = RemoteMesh((2,), spmd_mesh=(("model", 2),), rules={...})
+    step_fn = mesh.distributed(train_step)
+    for batch in dataset:
+        state, loss = step_fn(state, batch)
+
+``distributed`` traces ``train_step`` on first call (shapes are cached),
+compiles it with :func:`repro.core.compile.compile_train_step`, and drives
+the single-controller MPMD runtime: place inputs on their inferred actors,
+dispatch one fused program per actor, fetch the outputs. Subsequent calls
+with the same shapes reuse the compiled step — the paper's "single RPC per
+actor per step".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.compile import CompiledStep, compile_train_step
+from repro.core.schedules import Schedule
+from repro.ir import trace as ir_trace
+from repro.ir.avals import abstractify
+from repro.ir.pytree import tree_flatten, tree_unflatten
+from repro.runtime.clock import CostModel
+from repro.runtime.executor import CommMode, ExecutionResult, MpmdExecutor
+from repro.runtime.instructions import BufferRef
+
+__all__ = ["RemoteMesh", "StepFunction"]
+
+
+class RemoteMesh:
+    """A cluster of SPMD actors for MPMD pipeline execution (§4.1).
+
+    Args:
+        shape: ``(n_pipeline_actors,)`` or ``(dp, n_pipeline_actors)`` —
+            the low-bandwidth mesh over which pipeline (and optionally
+            data) parallelism run.
+        spmd_mesh: optional inner mesh axes, e.g. ``(("model", 4),)`` — the
+            high-bandwidth mesh each actor's tasks are SPMD-partitioned
+            over.
+        rules: logical-axis -> mesh-axis mapping for the inner mesh.
+        cost_model: optional :class:`~repro.runtime.clock.CostModel`; with
+            one attached, step functions also produce a virtual-time
+            timeline (``step_fn.last_result``).
+        comm_mode: point-to-point semantics (ASYNC = JaxPP's overlapped
+            sends/recvs; SYNC = the blocking baseline).
+    """
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        spmd_mesh: Sequence[tuple[str, int]] | None = None,
+        rules: Mapping[str, str | None] | None = None,
+        cost_model: CostModel | None = None,
+        comm_mode: CommMode = CommMode.ASYNC,
+    ):
+        shape = tuple(int(s) for s in shape)
+        if len(shape) == 1:
+            self.dp_size, self.n_pipeline_actors = 1, shape[0]
+        elif len(shape) == 2:
+            self.dp_size, self.n_pipeline_actors = shape
+        else:
+            raise ValueError(f"RemoteMesh shape must be (p,) or (dp, p), got {shape}")
+        self.spmd_mesh = tuple(spmd_mesh) if spmd_mesh else None
+        self.rules = dict(rules) if rules else {}
+        self.cost_model = cost_model
+        self.comm_mode = comm_mode
+
+    @property
+    def n_actors(self) -> int:
+        """Total actor count across data-parallel replicas."""
+        return self.dp_size * self.n_pipeline_actors
+
+    def distributed(
+        self,
+        train_step: Callable[..., Any],
+        schedule: Schedule | None = None,
+        comm_strategy: str = "topo",
+        cost_fn: Callable[..., float] | None = None,
+    ) -> "StepFunction":
+        """Wrap ``train_step`` for MPMD execution on this mesh.
+
+        The schedule normally comes from the ``accumulate_grads`` call
+        inside ``train_step``; passing one here overrides it.
+        """
+        return StepFunction(self, train_step, schedule, comm_strategy, cost_fn)
+
+
+class StepFunction:
+    """Compiled-on-first-call distributed step function.
+
+    Attributes:
+        last_result: the :class:`ExecutionResult` (timeline, makespan, P2P
+            stats) of the most recent call.
+        compiled: the underlying :class:`CompiledStep` after first call.
+    """
+
+    def __init__(
+        self,
+        mesh: RemoteMesh,
+        train_step: Callable[..., Any],
+        schedule: Schedule | None,
+        comm_strategy: str,
+        cost_fn: Callable[..., float] | None,
+    ):
+        self.mesh = mesh
+        self.train_step = train_step
+        self.schedule = schedule
+        self.comm_strategy = comm_strategy
+        self.cost_fn = cost_fn
+        self.compiled: CompiledStep | None = None
+        self.last_result: ExecutionResult | None = None
+        self._out_tree = None
+        self._shape_key = None
+
+    # -- compilation -----------------------------------------------------------
+    def _compile(self, args: tuple) -> None:
+        from repro.core.compile import find_batch_inputs
+
+        jaxpr, _, out_tree = ir_trace(self.train_step, *args)
+        dp = self.mesh.dp_size
+        if dp > 1:
+            # Data parallelism shards the per-microbatch batch dimension, so
+            # each replica's program must be traced at the *sharded* shape
+            # (static shape parameters are baked in at trace time, exactly
+            # like XLA). Re-trace with batch leaves pre-split.
+            batch_idx = find_batch_inputs(jaxpr)
+            flat, in_tree = tree_flatten(args)
+            for k in batch_idx:
+                leaf = np.asarray(flat[k])
+                if leaf.ndim < 2 or leaf.shape[1] % dp != 0:
+                    raise ValueError(
+                        f"batch leaf of shape {leaf.shape} cannot be split "
+                        f"{dp} ways along the microbatch-size axis"
+                    )
+                flat[k] = np.ascontiguousarray(leaf[:, : leaf.shape[1] // dp])
+            sharded_args = tree_unflatten(in_tree, flat)
+            jaxpr, _, out_tree = ir_trace(self.train_step, *sharded_args)
+        spmd_config = (
+            (self.mesh.spmd_mesh, self.mesh.rules) if self.mesh.spmd_mesh else None
+        )
+        self.compiled = compile_train_step(
+            jaxpr,
+            self.schedule,
+            dp_size=dp,
+            comm_strategy=self.comm_strategy,
+            spmd_config=spmd_config,
+            cost_fn=self.cost_fn,
+        )
+        self._out_tree = out_tree
+
+    # -- execution ---------------------------------------------------------------
+    def __call__(self, *args: Any) -> Any:
+        flat, in_tree = tree_flatten(args)
+        shape_key = tuple(repr(abstractify(x)) for x in flat)
+        if self.compiled is None or shape_key != self._shape_key:
+            self._compile(args)
+            self._shape_key = shape_key
+        compiled = self.compiled
+        assert compiled is not None
+
+        executor = MpmdExecutor(
+            compiled.n_actors,
+            cost_model=self.mesh.cost_model,
+            comm_mode=self.mesh.comm_mode,
+        )
+
+        P = self.mesh.n_pipeline_actors
+        dp = compiled.dp_size
+        for k, placements in enumerate(compiled.input_placements):
+            if not placements:
+                continue
+            value = np.asarray(flat[k])
+            nbytes = abstractify(flat[k]).nbytes
+            shards: list[np.ndarray] | None = None
+            if dp > 1 and k in compiled.batch_input_indices:
+                if value.shape[1] % dp != 0:
+                    raise ValueError(
+                        f"microbatch size {value.shape[1]} not divisible by dp={dp}"
+                    )
+                shards = np.split(value, dp, axis=1)
+            for replica in range(dp):
+                v = shards[replica] if shards is not None else value
+                nb = nbytes // dp if shards is not None else nbytes
+                for actor, uid in placements:
+                    executor.place(replica * P + actor, BufferRef(uid), v, nb, pinned=True)
+        for actor, uid, lit in getattr(compiled, "literal_placements", []):
+            for replica in range(dp):
+                executor.place(
+                    replica * P + actor, BufferRef(uid), np.asarray(lit.value),
+                    lit.aval.nbytes, pinned=True,
+                )
+
+        self.last_result = executor.execute(compiled.programs)
+        self._executor = executor
+
+        outs = []
+        for src in compiled.output_sources:
+            if src[0] == "literal":
+                outs.append(src[1])
+            elif src[0] == "input":
+                outs.append(flat[src[1]])
+            else:
+                _, actor, uid = src
+                outs.append(executor.fetch(actor, BufferRef(uid)))
+        return tree_unflatten(self._out_tree, outs)
+
+    # -- diagnostics ------------------------------------------------------------
+    @property
+    def peak_bytes_per_actor(self) -> list[int]:
+        """Peak object-store occupancy of the last call, per actor."""
+        if self.last_result is None:
+            raise RuntimeError("call the step function first")
+        return [s.peak_bytes for s in self._executor.stores]
+
+    def __repr__(self) -> str:
+        status = "compiled" if self.compiled is not None else "uncompiled"
+        return f"StepFunction({self.train_step.__name__}, {status})"

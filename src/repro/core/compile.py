@@ -1,0 +1,824 @@
+"""The MPMD compiler: traced ``train_step`` -> fused per-actor programs.
+
+This is the pipeline of §3-§4 end to end:
+
+1. locate the ``pipeline_loop`` equation recorded by ``accumulate_grads``;
+2. split its body into stage tasks at the ``pipeline_yield`` markers
+   (:mod:`repro.core.stage_split`);
+3. apply loop commuting to shared-weight gradients
+   (:mod:`repro.core.loop_commute`, §3.4);
+4. infer placement of everything outside the loop — §3.3: loop inputs pin
+   to the actors of their consuming tasks, pre-loop computation is
+   *replicated* onto every actor that needs it, post-loop computation
+   follows its gradient operands;
+5. unroll the loop over microbatches following the schedule, emitting
+   send/recv pairs **at the moment the producing task is scheduled**, in
+   global topological order — the §4.2 deadlock-free ordering (the
+   ``"naive"`` strategy that Figure 5 warns about is also available, for
+   the reproduction of that figure);
+6. insert buffer deletions by liveness (§4.3);
+7. fuse everything into one instruction list per actor (§4.4).
+
+The result is a :class:`CompiledStep` the driver executes with
+:class:`repro.runtime.executor.MpmdExecutor`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.core.accumulate import ADD, STACK, pipeline_loop_p
+from repro.core.loop_commute import commute_shared_gradients
+from repro.core.schedules import BWD, FWD, Schedule, Unit
+from repro.core.stage_split import FUSED_KIND, SplitResult, StageTask, split_stages
+from repro.ir.interpreter import eval_jaxpr
+from repro.ir.jaxpr import Atom, Eqn, Jaxpr, Literal, Var
+from repro.runtime.instructions import (
+    Accumulate,
+    AllReduce,
+    BufferRef,
+    Delete,
+    Instruction,
+    Recv,
+    RunTask,
+    Send,
+)
+
+__all__ = ["CompiledStep", "compile_train_step", "find_batch_inputs"]
+
+
+def find_batch_inputs(jaxpr: Jaxpr) -> set[int]:
+    """Flat train-step input indices that are passed directly as the
+    microbatched batch of the ``pipeline_loop`` (used by the driver to
+    shard inputs across data-parallel replicas)."""
+    loops = [e for e in jaxpr.eqns if e.prim is pipeline_loop_p]
+    if len(loops) != 1:
+        raise ValueError(f"expected exactly one pipeline_loop, found {len(loops)}")
+    loop_eqn = loops[0]
+    invar_pos = {id(v): k for k, v in enumerate(jaxpr.invars)}
+    out: set[int] = set()
+    for k in range(loop_eqn.params["n_batch_leaves"]):
+        atom = loop_eqn.invars[k]
+        if isinstance(atom, Var) and id(atom) in invar_pos:
+            out.add(invar_pos[id(atom)])
+    return out
+
+
+@dataclasses.dataclass
+class CompiledStep:
+    """A fully lowered training step.
+
+    Attributes:
+        n_actors: total actor count (pipeline depth x data-parallel size).
+        programs: fused instruction list per actor (§4.4).
+        input_placements: per flat train-step input, the ``(actor, uid)``
+            pairs where the driver must place it before execution.
+        batch_input_indices: flat input indices that carry the microbatched
+            batch (sharded across data-parallel replicas by the driver).
+        output_sources: per flat output, one of ``("literal", value)``,
+            ``("input", flat_idx)``, or ``("buffer", actor, uid)``.
+        split: the stage-split result (for introspection and tests).
+        schedule: the schedule that was compiled against.
+        dp_size: data-parallel replication factor.
+        n_commuted: shared-weight gradients rewritten by loop commuting.
+    """
+
+    n_actors: int
+    programs: list[list[Instruction]]
+    input_placements: list[list[tuple[int, str]]]
+    batch_input_indices: set[int]
+    output_sources: list[tuple]
+    split: SplitResult
+    schedule: Schedule
+    dp_size: int
+    n_commuted: int
+
+    @property
+    def instruction_counts(self) -> dict[str, int]:
+        """Histogram of instruction kinds over all programs (diagnostics)."""
+        out: dict[str, int] = {}
+        for prog in self.programs:
+            for instr in prog:
+                k = type(instr).__name__
+                out[k] = out.get(k, 0) + 1
+        return out
+
+
+def _make_task_fn(jaxpr: Jaxpr, spmd_config=None) -> Callable[[list], list]:
+    """Executable payload for a stage task.
+
+    With an inner SPMD mesh configured, the task is partitioned once here
+    and executed lock-step across the actor's devices on every call; the
+    boundary values stay global (sharding at entry, unsharding at exit).
+    """
+    if spmd_config is not None:
+        from repro.spmd import Mesh, SpmdExecutor, partition
+
+        mesh_axes, rules = spmd_config
+        mesh = Mesh(mesh_axes)
+        if mesh.n_devices > 1:
+            prog = partition(jaxpr, mesh, in_specs=[None] * len(jaxpr.invars), rules=rules)
+
+            def run_spmd(vals: list) -> list:
+                return SpmdExecutor(mesh).run(prog, vals)
+
+            return run_spmd
+
+    def run(vals: list) -> list:
+        return eval_jaxpr(jaxpr, vals)
+
+    return run
+
+
+def _make_eqn_fn(eqn: Eqn) -> Callable[[list], list]:
+    """Executable payload for a single pre/post-loop equation."""
+    literals = [(i, a.value) for i, a in enumerate(eqn.invars) if isinstance(a, Literal)]
+    n_in = len(eqn.invars)
+
+    def run(vals: list) -> list:
+        full: list[Any] = [None] * n_in
+        it = iter(vals)
+        lit = dict(literals)
+        for i in range(n_in):
+            full[i] = lit[i] if i in lit else next(it)
+        out = eqn.prim.impl(*full, **eqn.params)
+        return list(out) if eqn.prim.multiple_results else [out]
+
+    return run
+
+
+def compile_train_step(
+    jaxpr: Jaxpr,
+    schedule: Schedule | None = None,
+    *,
+    dp_size: int = 1,
+    comm_strategy: str = "topo",
+    spmd_config=None,
+    cost_fn: Callable[[StageTask], float] | None = None,
+) -> CompiledStep:
+    """Lower a traced training step into per-actor instruction programs.
+
+    Args:
+        jaxpr: the traced ``train_step`` containing exactly one
+            ``pipeline_loop`` equation.
+        schedule: overrides the schedule stored in the loop equation.
+        dp_size: data-parallel pipeline replicas (gradients are all-reduced
+            and averaged across replicas after the loop).
+        comm_strategy: ``"topo"`` (§4.2's deadlock-free ordering) or
+            ``"naive"`` (recv-just-before-use; deadlocks under synchronous
+            communication — Figure 5).
+        spmd_config: optional ``(mesh_axes, rules)`` giving each actor an
+            inner SPMD mesh for its tasks.
+        cost_fn: optional per-task virtual cost (simulation mode).
+    """
+    if comm_strategy not in ("topo", "naive"):
+        raise ValueError(f"unknown comm_strategy {comm_strategy!r}")
+
+    loop_positions = [i for i, e in enumerate(jaxpr.eqns) if e.prim is pipeline_loop_p]
+    if len(loop_positions) != 1:
+        raise ValueError(
+            f"train_step must contain exactly one accumulate_grads loop, found {len(loop_positions)}"
+        )
+    L = loop_positions[0]
+    loop_eqn = jaxpr.eqns[L]
+    body: Jaxpr = loop_eqn.params["body_jaxpr"]
+    out_ops: tuple[str, ...] = loop_eqn.params["out_ops"]
+    n_batch = loop_eqn.params["n_batch_leaves"]
+    n_mbs = loop_eqn.params["n_mbs"]
+    if schedule is None:
+        schedule = loop_eqn.params.get("schedule")
+    if schedule is None:
+        raise ValueError("no schedule: pass one to accumulate_grads or compile_train_step")
+
+    split = split_stages(body)
+    if split.n_stages != schedule.n_stages:
+        raise ValueError(
+            f"model has {split.n_stages} pipeline stages (yields + 1) but the "
+            f"schedule expects {schedule.n_stages}"
+        )
+
+    commute = commute_shared_gradients(body, out_ops, schedule, split)
+    body, out_ops = commute.body, commute.out_ops
+    if commute.n_commuted:
+        split = split_stages(body)
+
+    tasks = split.tasks
+    P = schedule.n_actors
+    n_actors = P * dp_size
+
+    # ------------------------------------------------------------------
+    # index maps
+    # ------------------------------------------------------------------
+    producer: dict[int, tuple[int, int]] = {}  # id(body var) -> (task, out_pos)
+    for t in tasks:
+        for j, v in enumerate(t.out_vars):
+            producer[id(v)] = (t.index, j)
+
+    body_invar_pos = {id(v): k for k, v in enumerate(body.invars)}
+    task_actor = [schedule.actor_of_stage(t.stage) for t in tasks]
+
+    # consumers of each task output: list[(task_idx, out_pos)] -> [task idx]
+    out_consumers: dict[tuple[int, int], list[int]] = {}
+    invar_consumers: dict[int, list[int]] = {k: [] for k in range(len(body.invars))}
+    for t in tasks:
+        for atom in t.in_atoms:
+            if id(atom) in body_invar_pos:
+                invar_consumers[body_invar_pos[id(atom)]].append(t.index)
+            elif id(atom) in producer:
+                out_consumers.setdefault(producer[id(atom)], []).append(t.index)
+            else:  # pragma: no cover - split invariant
+                raise AssertionError("task input is neither body invar nor task output")
+
+    # body outputs: (task, out_pos) and combine op per output
+    body_out_sources: list[tuple[int, int] | None] = []
+    for atom in body.outvars:
+        body_out_sources.append(producer.get(id(atom)))
+
+    # ------------------------------------------------------------------
+    # classify train-level equations: pre (feeds the loop / independent)
+    # vs post (depends on loop outputs)
+    # ------------------------------------------------------------------
+    loop_out_ids = {id(v) for v in loop_eqn.outvars}
+    post_set: set[int] = set()
+    post_val_ids: set[int] = set(loop_out_ids)
+    for i, eqn in enumerate(jaxpr.eqns):
+        if i == L:
+            continue
+        if any(isinstance(a, Var) and id(a) in post_val_ids for a in eqn.invars):
+            post_set.add(i)
+            post_val_ids.update(id(v) for v in eqn.outvars)
+    pre_idx = [i for i in range(len(jaxpr.eqns)) if i != L and i not in post_set]
+    post_idx = [i for i in range(len(jaxpr.eqns)) if i in post_set]
+
+    # ------------------------------------------------------------------
+    # uid naming for train-level atoms
+    # ------------------------------------------------------------------
+    invar_pos = {id(v): k for k, v in enumerate(jaxpr.invars)}
+    pre_out_uid: dict[int, str] = {}
+    for i in pre_idx:
+        for j, v in enumerate(jaxpr.eqns[i].outvars):
+            pre_out_uid[id(v)] = f"pre.e{i}.o{j}"
+    post_out_uid: dict[int, str] = {}
+    for i in post_idx:
+        for j, v in enumerate(jaxpr.eqns[i].outvars):
+            post_out_uid[id(v)] = f"post.e{i}.o{j}"
+
+    # loop outputs -> uid (+ "dp-averaged" uid when dp_size > 1)
+    def acc_uid(j: int) -> str:
+        return f"acc.{j}" if dp_size == 1 else f"dpm.{j}"
+
+    def stack_uid(j: int) -> str:
+        return f"stack.{j}" if dp_size == 1 else f"dpm.stack.{j}"
+
+    loop_out_uid: dict[int, tuple[str, int]] = {}  # id(train outvar) -> (uid, local actor)
+    combine_uids: list[tuple[str, int]] = []
+    direct_positions: dict[int, int] = {}  # new body-out idx -> train outvar position
+    # constant loop outputs (e.g. the zero gradient of a weight the loss
+    # never uses) have no producing task; the driver places the combined
+    # value directly: sum over microbatches for ADD, a stack for STACK.
+    const_loop_outputs: list[tuple[int, str, Literal]] = []
+    for pos, (how, k) in enumerate(commute.out_map):
+        train_var = loop_eqn.outvars[pos]
+        if how == "direct":
+            src = body_out_sources[k]
+            if src is None:
+                atom = body.outvars[k]
+                if not isinstance(atom, Literal):
+                    raise NotImplementedError(
+                        "loop outputs that are loop inputs passed through "
+                        "unchanged are not supported"
+                    )
+                if out_ops[k] == ADD:
+                    value = np.asarray(atom.value) * n_mbs
+                    aval = atom.aval
+                else:
+                    value = np.stack([np.asarray(atom.value)] * n_mbs)
+                    aval = atom.aval.update(shape=(n_mbs,) + atom.aval.shape)
+                uid = f"loopconst.{k}"
+                const_loop_outputs.append((0, uid, Literal(value, aval)))
+                loop_out_uid[id(train_var)] = (uid, 0)
+                direct_positions[k] = pos
+                continue
+            actor = task_actor[src[0]]
+            uid = acc_uid(k) if out_ops[k] == ADD else stack_uid(k)
+            loop_out_uid[id(train_var)] = (uid, actor)
+            direct_positions[k] = pos
+        else:
+            spec = commute.combines[k]
+            first_src = body_out_sources[spec.part_indices[0]]
+            actor = task_actor[first_src[0]]
+            uid = f"combine.{k}"
+            loop_out_uid[id(train_var)] = (uid, actor)
+            combine_uids.append((uid, actor))
+
+    def train_atom_uid(atom: Atom) -> tuple[str, Any]:
+        """uid for a train-level atom; second element is a literal payload
+        (or None)."""
+        if isinstance(atom, Literal):
+            return f"lit.{id(atom)}", atom
+        if id(atom) in invar_pos:
+            return f"in.{invar_pos[id(atom)]}", None
+        if id(atom) in pre_out_uid:
+            return pre_out_uid[id(atom)], None
+        if id(atom) in post_out_uid:
+            return post_out_uid[id(atom)], None
+        if id(atom) in loop_out_uid:
+            return loop_out_uid[id(atom)][0], None
+        raise AssertionError("unplaced train atom")
+
+    # ------------------------------------------------------------------
+    # placement inference (§3.3)
+    # ------------------------------------------------------------------
+    # post equations: follow the first loop/post operand's actor
+    post_actor: dict[int, int] = {}
+    for i in post_idx:
+        actor = None
+        for a in jaxpr.eqns[i].invars:
+            if isinstance(a, Var):
+                if id(a) in loop_out_uid:
+                    actor = loop_out_uid[id(a)][1]
+                    break
+                if id(a) in post_out_uid:
+                    src_eqn = int(post_out_uid[id(a)].split(".")[1][1:])
+                    actor = post_actor[src_eqn]
+                    break
+        post_actor[i] = 0 if actor is None else actor
+
+    # needed-on sets, propagated backwards through pre equations
+    needed_on: dict[str, set[int]] = {}
+
+    def need(uid: str, actor: int) -> None:
+        needed_on.setdefault(uid, set()).add(actor)
+
+    # loop inputs pin to the actors of their consuming tasks
+    for k, consumers in invar_consumers.items():
+        atom = loop_eqn.invars[k]
+        uid, _ = train_atom_uid(atom)
+        for t in consumers:
+            need(uid, task_actor[t])
+    # post equations need their non-loop operands locally
+    for i in post_idx:
+        for a in jaxpr.eqns[i].invars:
+            if isinstance(a, Var) and (id(a) in invar_pos or id(a) in pre_out_uid):
+                need(train_atom_uid(a)[0], post_actor[i])
+            elif isinstance(a, Literal):
+                need(train_atom_uid(a)[0], post_actor[i])
+    # combine tasks need their parts' accumulators (cross-actor handled below)
+    # train outputs produced by pre eqns / invars / literals: actor 0
+    for atom in jaxpr.outvars:
+        if isinstance(atom, Literal) or id(atom) in invar_pos or id(atom) in pre_out_uid:
+            need(train_atom_uid(atom)[0], 0)
+
+    # propagate through pre eqns in reverse order
+    for i in reversed(pre_idx):
+        eqn = jaxpr.eqns[i]
+        actors: set[int] = set()
+        for j, v in enumerate(eqn.outvars):
+            actors |= needed_on.get(f"pre.e{i}.o{j}", set())
+        if not actors:
+            continue
+        for a in eqn.invars:
+            if isinstance(a, (Var, Literal)):
+                uid, _ = train_atom_uid(a) if not isinstance(a, Literal) else (None, None)
+                if isinstance(a, Var):
+                    for act in actors:
+                        need(train_atom_uid(a)[0], act)
+        # record where this eqn runs
+        needed_on[f"pre.e{i}"] = actors
+
+    # input placements (and literal placements)
+    input_placements: list[list[tuple[int, str]]] = [[] for _ in jaxpr.invars]
+    literal_placements: list[tuple[int, str, Any]] = []
+    seen_lit: set[tuple[int, str]] = set()
+    for k, v in enumerate(jaxpr.invars):
+        uid = f"in.{k}"
+        for actor in sorted(needed_on.get(uid, set())):
+            input_placements[k].append((actor, uid))
+    # literals used by loop captures or post eqns directly
+    def note_literal(atom: Literal, actor: int) -> None:
+        uid, _ = train_atom_uid(atom)
+        if (actor, uid) not in seen_lit:
+            seen_lit.add((actor, uid))
+            literal_placements.append((actor, uid, atom))
+
+    for k, consumers in invar_consumers.items():
+        atom = loop_eqn.invars[k]
+        if isinstance(atom, Literal):
+            for t in consumers:
+                note_literal(atom, task_actor[t])
+    for i in post_idx:
+        for a in jaxpr.eqns[i].invars:
+            if isinstance(a, Literal):
+                note_literal(a, post_actor[i])
+    for i in pre_idx:
+        for a in jaxpr.eqns[i].invars:
+            if isinstance(a, Literal):
+                for actor in needed_on.get(f"pre.e{i}", set()):
+                    note_literal(a, actor)
+
+    # batch inputs for data-parallel sharding
+    batch_input_indices: set[int] = set()
+    dp_ok = True
+    for k in range(n_batch):
+        atom = loop_eqn.invars[k]
+        if isinstance(atom, Var) and id(atom) in invar_pos:
+            batch_input_indices.add(invar_pos[id(atom)])
+        else:
+            dp_ok = False
+    if dp_size > 1 and not dp_ok:
+        raise ValueError(
+            "data parallelism requires the microbatched batch to be passed "
+            "directly to train_step (shape (n_mbs, mbsz, ...)), not computed "
+            "inside it"
+        )
+
+    # ------------------------------------------------------------------
+    # program emission
+    # ------------------------------------------------------------------
+    programs: list[list[Instruction]] = [[] for _ in range(n_actors)]
+    task_fns = [_make_task_fn(t.jaxpr, spmd_config) for t in tasks]
+    task_costs = [cost_fn(t) if cost_fn else 0.0 for t in tasks]
+
+    # global topological order of scheduled units (greedy, like the
+    # schedule validator) — §4.2's iteration order
+    per_actor_units = schedule.units(n_mbs)
+    order: list[tuple[int, Unit]] = []
+    done: set[tuple[int, int, str]] = set()
+    pcs = [0] * P
+    total_units = sum(len(u) for u in per_actor_units)
+    while len(order) < total_units:
+        progressed = False
+        for a_local, seq in enumerate(per_actor_units):
+            while pcs[a_local] < len(seq):
+                u = seq[pcs[a_local]]
+                deps = []
+                if u.kind == FWD and u.stage > 0:
+                    deps.append((u.mb, u.stage - 1, FWD))
+                if u.kind == BWD:
+                    deps.append((u.mb, u.stage, FWD))
+                    if u.stage < schedule.n_stages - 1:
+                        deps.append((u.mb, u.stage + 1, BWD))
+                if not all(d in done for d in deps):
+                    break
+                done.add((u.mb, u.stage, u.kind))
+                order.append((a_local, u))
+                pcs[a_local] += 1
+                progressed = True
+        if not progressed:
+            raise ValueError("schedule is not executable (would deadlock)")
+
+    for replica in range(dp_size):
+        base = replica * P
+
+        def prog(a_local: int) -> list[Instruction]:
+            return programs[base + a_local]
+
+        # --- pre equations (replicated where needed) ---
+        for i in pre_idx:
+            eqn = jaxpr.eqns[i]
+            for a_local in sorted(needed_on.get(f"pre.e{i}", set())):
+                in_refs = [
+                    BufferRef(train_atom_uid(a)[0])
+                    for a in eqn.invars
+                    if not isinstance(a, Literal)
+                ]
+                out_refs = [BufferRef(f"pre.e{i}.o{j}") for j in range(len(eqn.outvars))]
+                prog(a_local).append(
+                    RunTask(
+                        name=f"pre.{eqn.prim.name}",
+                        in_refs=in_refs,
+                        out_refs=out_refs,
+                        fn=_make_eqn_fn(eqn),
+                        meta={"phase": "pre", "out_nbytes": [v.aval.nbytes for v in eqn.outvars]},
+                    )
+                )
+
+        # --- microbatch slicing of batch inputs ---
+        for k in range(n_batch):
+            atom = loop_eqn.invars[k]
+            uid, _ = train_atom_uid(atom)
+            actors = sorted({task_actor[t] for t in invar_consumers[k]})
+            for a_local in actors:
+                for i in range(n_mbs):
+                    def slice_fn(vals, i=i):
+                        return [np.asarray(vals[0])[i]]
+
+                    prog(a_local).append(
+                        RunTask(
+                            name=f"slice.b{k}[{i}]",
+                            in_refs=[BufferRef(uid)],
+                            out_refs=[BufferRef(f"mb{i}.bin{k}")],
+                            fn=slice_fn,
+                            meta={
+                                "phase": "slice",
+                                "out_nbytes": [body.invars[k].aval.nbytes],
+                            },
+                        )
+                    )
+
+        # --- the unrolled pipeline (§4.2) ---
+        # naive mode: recvs deferred to just before the consuming instance,
+        # keyed by (actor, task index, microbatch)
+        pending_recvs: dict[tuple[int, int, int], list[Recv]] = {}
+
+        def out_ref(mb: int, t: int, j: int) -> BufferRef:
+            return BufferRef(f"mb{mb}.t{t}.o{j}")
+
+        def task_in_refs(task: StageTask, mb: int) -> list[BufferRef]:
+            refs = []
+            for atom in task.in_atoms:
+                if id(atom) in body_invar_pos:
+                    k = body_invar_pos[id(atom)]
+                    if k < n_batch:
+                        refs.append(BufferRef(f"mb{mb}.bin{k}"))
+                    else:
+                        refs.append(BufferRef(train_atom_uid(loop_eqn.invars[k])[0]))
+                else:
+                    src_t, src_j = producer[id(atom)]
+                    refs.append(out_ref(mb, src_t, src_j))
+            return refs
+
+        for a_local, u in order:
+            if u.kind == BWD and u.stage == schedule.n_stages - 1 and split.fwd_task_of_stage[u.stage] == split.bwd_task_of_stage[u.stage]:
+                continue  # fused into the forward unit
+            t_idx = (
+                split.fwd_task_of_stage[u.stage]
+                if u.kind == FWD
+                else split.bwd_task_of_stage[u.stage]
+            )
+            task = tasks[t_idx]
+            name = f"{'f' if u.kind == FWD else 'b'}{u.stage}({u.mb})"
+            if task.kind == FUSED_KIND:
+                name = f"f{u.stage}b{u.stage}({u.mb})"
+            run = RunTask(
+                name=name,
+                in_refs=task_in_refs(task, u.mb),
+                out_refs=[out_ref(u.mb, t_idx, j) for j in range(len(task.out_vars))],
+                fn=task_fns[t_idx],
+                cost=task_costs[t_idx],
+                meta={
+                    "phase": "loop",
+                    "mb": u.mb,
+                    "stage": u.stage,
+                    "kind": task.kind,
+                    "out_nbytes": [v.aval.nbytes for v in task.out_vars],
+                },
+            )
+            if comm_strategy == "naive":
+                for r in pending_recvs.pop((a_local, t_idx, u.mb), []):
+                    prog(a_local).append(r)
+            prog(a_local).append(run)
+
+            # sends to cross-actor consumers, immediately after production;
+            # one transfer per destination actor even when several tasks
+            # there consume the value
+            for j, v in enumerate(task.out_vars):
+                sent_to: dict[int, int] = {}  # dst actor -> first consumer task
+                for consumer_t in out_consumers.get((t_idx, j), []):
+                    dst_local = task_actor[consumer_t]
+                    if dst_local == a_local or dst_local in sent_to:
+                        continue
+                    sent_to[dst_local] = consumer_t
+                for dst_local, consumer_t in sent_to.items():
+                    key = f"mb{u.mb}.t{t_idx}.o{j}"
+                    nbytes = v.aval.nbytes
+                    prog(a_local).append(Send(out_ref(u.mb, t_idx, j), base + dst_local, key))
+                    recv = Recv(out_ref(u.mb, t_idx, j), base + a_local, key, nbytes)
+                    if comm_strategy == "topo":
+                        prog(dst_local).append(recv)
+                    else:
+                        pending_recvs.setdefault((dst_local, consumer_t, u.mb), []).append(recv)
+                # gradient accumulation for ADD body outputs
+            for pos, src in enumerate(body_out_sources):
+                if src is None or src[0] != t_idx:
+                    continue
+                j = src[1]
+                if out_ops[pos] == ADD:
+                    prog(a_local).append(
+                        Accumulate(
+                            acc=BufferRef(f"acc.{pos}"),
+                            value=out_ref(u.mb, t_idx, j),
+                            delete_value=False,
+                        )
+                    )
+
+        # --- data-parallel gradient synchronisation ---
+        if dp_size > 1:
+            inv = np.float32(1.0 / dp_size)
+            for pos, op in enumerate(out_ops):
+                src = body_out_sources[pos]
+                if src is None or op != ADD:
+                    continue
+                a_local = task_actor[src[0]]
+                group = tuple(r * P + a_local for r in range(dp_size))
+                prog(a_local).append(
+                    AllReduce(BufferRef(f"acc.{pos}"), group, group_key=f"dp.acc.{pos}")
+                )
+                prog(a_local).append(
+                    RunTask(
+                        name=f"dpmean.acc{pos}",
+                        in_refs=[BufferRef(f"acc.{pos}")],
+                        out_refs=[BufferRef(f"dpm.{pos}")],
+                        fn=lambda vals, inv=inv: [vals[0] * inv],
+                        meta={"phase": "dp", "out_nbytes": [body.outvars[pos].aval.nbytes]},
+                    )
+                )
+
+        # --- stacked outputs (losses) ---
+        for pos, op in enumerate(out_ops):
+            if op != STACK:
+                continue
+            src = body_out_sources[pos]
+            if src is None:
+                continue  # constant output: materialized by the driver
+            t_idx, j = src
+            a_local = task_actor[t_idx]
+            refs = [out_ref(i, t_idx, j) for i in range(n_mbs)]
+            target = f"stack.{pos}" if dp_size == 1 else f"stack.{pos}.raw"
+            prog(a_local).append(
+                RunTask(
+                    name=f"stack.{pos}",
+                    in_refs=refs,
+                    out_refs=[BufferRef(target)],
+                    fn=lambda vals: [np.stack(vals)],
+                    meta={
+                        "phase": "stack",
+                        "out_nbytes": [body.outvars[pos].aval.nbytes * n_mbs],
+                    },
+                )
+            )
+            if dp_size > 1:
+                inv = np.float32(1.0 / dp_size)
+                group = tuple(r * P + a_local for r in range(dp_size))
+                prog(a_local).append(
+                    AllReduce(BufferRef(target), group, group_key=f"dp.stack.{pos}")
+                )
+                prog(a_local).append(
+                    RunTask(
+                        name=f"dpmean.stack{pos}",
+                        in_refs=[BufferRef(target)],
+                        out_refs=[BufferRef(f"dpm.stack.{pos}")],
+                        fn=lambda vals, inv=inv: [vals[0] * inv],
+                        meta={"phase": "dp", "out_nbytes": [body.outvars[pos].aval.nbytes * n_mbs]},
+                    )
+                )
+
+        # --- deferred combines from loop commuting (§3.4) ---
+        for k, spec in enumerate(commute.combines):
+            parts = spec.part_indices
+            target_actor = task_actor[body_out_sources[parts[0]][0]]
+            part_refs = []
+            for pos in parts:
+                a_src = task_actor[body_out_sources[pos][0]]
+                uid = acc_uid(pos)
+                ref = BufferRef(uid)
+                if a_src != target_actor:
+                    key = f"combine.{k}.part{pos}"
+                    prog(a_src).append(Send(ref, base + target_actor, key))
+                    prog(target_actor).append(
+                        Recv(ref, base + a_src, key, body.outvars[pos].aval.nbytes)
+                    )
+                part_refs.append(ref)
+
+            def combine_fn(vals):
+                total = vals[0]
+                for v in vals[1:]:
+                    total = total + v
+                return [total]
+
+            prog(target_actor).append(
+                RunTask(
+                    name=f"combine.{k}",
+                    in_refs=part_refs,
+                    out_refs=[BufferRef(f"combine.{k}")],
+                    fn=combine_fn,
+                    meta={
+                        "phase": "combine",
+                        "out_nbytes": [body.outvars[parts[0]].aval.nbytes],
+                    },
+                )
+            )
+
+        # --- post-loop equations ---
+        for i in post_idx:
+            eqn = jaxpr.eqns[i]
+            a_local = post_actor[i]
+            in_refs = []
+            for a in eqn.invars:
+                if isinstance(a, Literal):
+                    continue
+                uid, _ = train_atom_uid(a)
+                src_actor = None
+                if id(a) in loop_out_uid:
+                    src_actor = loop_out_uid[id(a)][1]
+                elif id(a) in post_out_uid:
+                    src_actor = post_actor[int(uid.split(".")[1][1:])]
+                if src_actor is not None and src_actor != a_local:
+                    key = f"{uid}->post.e{i}"
+                    prog(src_actor).append(Send(BufferRef(uid), base + a_local, key))
+                    prog(a_local).append(Recv(BufferRef(uid), base + src_actor, key, a.aval.nbytes))
+                in_refs.append(BufferRef(uid))
+            out_refs = [BufferRef(f"post.e{i}.o{j}") for j in range(len(eqn.outvars))]
+            prog(a_local).append(
+                RunTask(
+                    name=f"post.{eqn.prim.name}",
+                    in_refs=in_refs,
+                    out_refs=out_refs,
+                    fn=_make_eqn_fn(eqn),
+                    meta={"phase": "post", "out_nbytes": [v.aval.nbytes for v in eqn.outvars]},
+                )
+            )
+
+    # literal placements become driver placements via input_placements of a
+    # pseudo-input list; return them through output of the compiler:
+    # (kept in closure of the driver below)
+
+    # ------------------------------------------------------------------
+    # outputs
+    # ------------------------------------------------------------------
+    output_sources: list[tuple] = []
+    for atom in jaxpr.outvars:
+        if isinstance(atom, Literal):
+            output_sources.append(("literal", atom.value))
+        elif id(atom) in invar_pos:
+            output_sources.append(("input", invar_pos[id(atom)]))
+        elif id(atom) in loop_out_uid:
+            uid, actor = loop_out_uid[id(atom)]
+            output_sources.append(("buffer", actor, uid))
+        elif id(atom) in post_out_uid:
+            uid = post_out_uid[id(atom)]
+            output_sources.append(("buffer", post_actor[int(uid.split(".")[1][1:])], uid))
+        elif id(atom) in pre_out_uid:
+            uid = pre_out_uid[id(atom)]
+            actor = min(needed_on.get(uid, {0}))
+            output_sources.append(("buffer", actor, uid))
+        else:  # pragma: no cover
+            raise AssertionError("unmapped train output")
+
+    compiled = CompiledStep(
+        n_actors=n_actors,
+        programs=programs,
+        input_placements=input_placements,
+        batch_input_indices=batch_input_indices,
+        output_sources=output_sources,
+        split=split,
+        schedule=schedule,
+        dp_size=dp_size,
+        n_commuted=commute.n_commuted,
+    )
+    literal_placements.extend(const_loop_outputs)
+    compiled.literal_placements = literal_placements  # type: ignore[attr-defined]
+    _insert_deletions(compiled, jaxpr)
+    return compiled
+
+
+def _insert_deletions(compiled: CompiledStep, jaxpr: Jaxpr) -> None:
+    """Buffer-liveness pass (§4.3): insert a Delete after each buffer's last
+    use on every actor. Driver-placed inputs and output buffers are
+    protected; buffers with in-flight sends are handled by the executor's
+    pending-deletions queue."""
+    protected_global: set[str] = set()
+    for placements in compiled.input_placements:
+        for _, uid in placements:
+            protected_global.add(uid)
+    for _, uid, _ in getattr(compiled, "literal_placements", []):
+        protected_global.add(uid)
+    for src in compiled.output_sources:
+        if src[0] == "buffer":
+            protected_global.add(src[2])
+
+    for actor, prog in enumerate(compiled.programs):
+        defined: set[str] = set()
+        last_use: dict[str, int] = {}
+        for idx, instr in enumerate(prog):
+            if isinstance(instr, RunTask):
+                for r in instr.in_refs:
+                    last_use[r.uid] = idx
+                for r in instr.out_refs:
+                    defined.add(r.uid)
+            elif isinstance(instr, Send):
+                last_use[instr.ref.uid] = idx
+            elif isinstance(instr, Recv):
+                defined.add(instr.ref.uid)
+            elif isinstance(instr, Accumulate):
+                last_use[instr.value.uid] = idx
+                defined.add(instr.acc.uid)
+                last_use[instr.acc.uid] = max(last_use.get(instr.acc.uid, idx), idx)
+            elif isinstance(instr, AllReduce):
+                last_use[instr.ref.uid] = idx
+
+        deletions_at: dict[int, list[str]] = {}
+        for uid, idx in last_use.items():
+            if uid in protected_global or uid not in defined:
+                continue
+            deletions_at.setdefault(idx, []).append(uid)
+
+        new_prog: list[Instruction] = []
+        for idx, instr in enumerate(prog):
+            new_prog.append(instr)
+            for uid in deletions_at.get(idx, []):
+                new_prog.append(Delete(BufferRef(uid)))
+        compiled.programs[actor] = new_prog

@@ -1,0 +1,158 @@
+"""Loop commuting for shared-weight gradients (§3.4).
+
+With weight sharing (tied embeddings), autodiff forms the full gradient as
+a sum of per-stage partials *inside* the loop body::
+
+    g = g_1 + g_2            # g_1 from the last stage, g_2 from the first
+
+If the partials come from tasks on different actors, the naive schedule
+ships a multi-gigabyte partial gradient **every microbatch**. The paper's
+rewrite commutes the sum over microbatches::
+
+    Σ_i (g_1^(i) + g_2^(i))   ⇝   (Σ_i g_1^(i)) + (Σ_i g_2^(i))
+
+so each actor accumulates its own partial locally and a single add (one
+transfer) happens after the loop. This pass detects such outputs, rewrites
+the loop body to return the partials, and reports the deferred adds for the
+compiler to place after the loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.ir.jaxpr import Atom, Jaxpr, Literal, Var, dce
+from repro.ir.ops import add_p
+from repro.ir.pipeline import pipeline_yield_p
+from repro.core.accumulate import ADD
+from repro.core.schedules import Schedule
+from repro.core.stage_split import SplitResult, split_stages
+
+__all__ = ["CombineSpec", "CommuteResult", "commute_shared_gradients"]
+
+
+@dataclasses.dataclass
+class CombineSpec:
+    """One deferred post-loop combination.
+
+    Attributes:
+        out_index: position in the *original* body output list whose value
+            is now computed after the loop.
+        part_indices: positions in the *rewritten* body output list holding
+            the per-actor partial accumulators to be summed.
+    """
+
+    out_index: int
+    part_indices: list[int]
+
+
+@dataclasses.dataclass
+class CommuteResult:
+    """Rewritten body plus bookkeeping.
+
+    Attributes:
+        body: loop body with commuted sums removed from the outputs.
+        out_ops: combine ops for the rewritten outputs.
+        combines: deferred adds, in original-output order.
+        out_map: for each original output index, either ``("direct", new_i)``
+            or ``("combine", k)`` pointing into ``combines``.
+        n_commuted: number of outputs rewritten (0 = pass was a no-op).
+    """
+
+    body: Jaxpr
+    out_ops: tuple[str, ...]
+    combines: list[CombineSpec]
+    out_map: list[tuple[str, int]]
+    n_commuted: int
+
+
+def _flatten_add_tree(body: Jaxpr, atom: Atom, producer: dict[int, int]) -> list[Atom] | None:
+    """Flatten nested ``add`` equations rooted at ``atom`` into leaf parts.
+
+    Returns ``None`` when ``atom`` is not produced by an add.
+    """
+    if isinstance(atom, Literal) or id(atom) not in producer:
+        return None
+    eqn = body.eqns[producer[id(atom)]]
+    if eqn.prim is not add_p:
+        return None
+    parts: list[Atom] = []
+    for operand in eqn.invars:
+        sub = _flatten_add_tree(body, operand, producer) if isinstance(operand, Var) else None
+        if sub is None:
+            parts.append(operand)
+        else:
+            parts.extend(sub)
+    return parts
+
+
+def commute_shared_gradients(
+    body: Jaxpr,
+    out_ops: tuple[str, ...],
+    schedule: Schedule,
+    split: SplitResult | None = None,
+) -> CommuteResult:
+    """Apply the §3.4 rewrite to every eligible ADD-accumulated output.
+
+    An output is rewritten when it is a (possibly nested) sum whose parts
+    are produced by tasks mapped to *different actors* under ``schedule``.
+    Outputs summed within a single actor are left alone — the rewrite would
+    only add accumulators without saving any communication.
+    """
+    if split is None:
+        split = split_stages(body)
+    # Work in the split's (DCE'd) body coordinates — `split.assignment`
+    # indexes those equations.
+    body = split.body if split.body is not None else body
+
+    producer_eqn: dict[int, int] = {}
+    for i, eqn in enumerate(body.eqns):
+        for v in eqn.outvars:
+            producer_eqn[id(v)] = i
+
+    def actor_of_atom(atom: Atom) -> int | None:
+        """Actor of the task that computes ``atom`` (internal vars too,
+        via the split's raw eqn->task assignment)."""
+        if not isinstance(atom, Var) or id(atom) not in producer_eqn:
+            return None
+        task_idx = split.assignment.get(producer_eqn[id(atom)])
+        if task_idx is None:
+            return None
+        return schedule.actor_of_stage(split.tasks[task_idx].stage)
+
+    new_outvars: list[Atom] = []
+    new_ops: list[str] = []
+    combines: list[CombineSpec] = []
+    out_map: list[tuple[str, int]] = []
+    n_commuted = 0
+
+    for idx, (atom, op) in enumerate(zip(body.outvars, out_ops)):
+        parts = _flatten_add_tree(body, atom, producer_eqn) if op == ADD else None
+        eligible = False
+        if parts is not None and len(parts) >= 2 and all(isinstance(p, Var) for p in parts):
+            actors = {actor_of_atom(p) for p in parts}
+            eligible = None not in actors and len(actors) >= 2
+        if not eligible:
+            out_map.append(("direct", len(new_outvars)))
+            new_outvars.append(atom)
+            new_ops.append(op)
+            continue
+        part_positions = []
+        for p in parts:
+            part_positions.append(len(new_outvars))
+            new_outvars.append(p)
+            new_ops.append(ADD)
+        combines.append(CombineSpec(out_index=idx, part_indices=part_positions))
+        out_map.append(("combine", len(combines) - 1))
+        n_commuted += 1
+
+    new_body = Jaxpr(body.invars, body.eqns, new_outvars)
+    # The now-unreferenced add equations disappear; yield markers are kept.
+    new_body = dce(new_body, keep_effects=lambda e: e.prim is pipeline_yield_p)
+    return CommuteResult(
+        body=new_body,
+        out_ops=tuple(new_ops),
+        combines=combines,
+        out_map=out_map,
+        n_commuted=n_commuted,
+    )

@@ -1,0 +1,330 @@
+"""Pipeline schedules: GPipe, 1F1B, Interleaved 1F1B (§2.2.1, §4.2).
+
+A schedule answers two questions:
+
+- *placement*: which actor executes each pipeline stage
+  (``actor_of_stage``), with backward stages pinned to their forward
+  stage's actor (§3.3's assumption);
+- *order*: the per-actor sequence of scheduled units
+  ``(microbatch, stage, kind)`` — exactly the per-actor task lists of
+  §4.2's listing.
+
+Schedules are *data*, not control flow: the compiler unrolls the loop into
+a task graph following the schedule, and the runtime executes whatever
+order the schedule chose — this user-extensibility is the paper's core
+flexibility claim (new schedules = new subclass, nothing else changes).
+
+:func:`validate_schedule` checks the properties §2.2.1 requires: every
+(microbatch, stage) pair runs exactly once in each direction, backward runs
+on the forward's actor, and per-actor orders are consistent with the data
+dependencies (simulated to completion — a schedule that would deadlock is
+rejected here, before it ever reaches the runtime).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+__all__ = [
+    "Unit",
+    "Schedule",
+    "GPipe",
+    "OneFOneB",
+    "Interleaved1F1B",
+    "validate_schedule",
+    "schedule_stats",
+]
+
+FWD = "fwd"
+BWD = "bwd"
+
+
+@dataclasses.dataclass(frozen=True)
+class Unit:
+    """One scheduled work item: the ``Task(i=..., ty=..., stage=...)`` of
+    the paper's schedule listing."""
+
+    mb: int
+    stage: int
+    kind: str  # "fwd" | "bwd"
+
+    def __repr__(self) -> str:
+        return f"{self.kind[0]}{self.stage}({self.mb})"
+
+
+class Schedule:
+    """Base class: a stage->actor placement plus per-actor unit orders."""
+
+    n_actors: int
+    n_stages: int
+
+    def actor_of_stage(self, stage: int) -> int:
+        """Actor executing (forward and backward of) ``stage``."""
+        raise NotImplementedError
+
+    def stages_of_actor(self, actor: int) -> list[int]:
+        """Stages placed on ``actor`` (≥1; >1 means circular repeat)."""
+        return [s for s in range(self.n_stages) if self.actor_of_stage(s) == actor]
+
+    def units(self, n_mbs: int) -> list[list[Unit]]:
+        """Per-actor ordered unit lists for ``n_mbs`` microbatches."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        """Display name."""
+        return type(self).__name__
+
+
+class GPipe(Schedule):
+    """GPipe (Huang et al. 2019): all forwards, then all backwards in
+    reverse microbatch order. Peak activation memory grows with the number
+    of microbatches — the §5.3 comparison point."""
+
+    def __init__(self, n_stages: int, n_actors: int | None = None):
+        if n_actors is None:
+            n_actors = n_stages
+        if n_stages != n_actors:
+            raise ValueError("GPipe places one stage per actor")
+        self.n_stages = n_stages
+        self.n_actors = n_actors
+
+    def actor_of_stage(self, stage: int) -> int:
+        return stage
+
+    def units(self, n_mbs: int) -> list[list[Unit]]:
+        out = []
+        for actor in range(self.n_actors):
+            seq = [Unit(i, actor, FWD) for i in range(n_mbs)]
+            seq += [Unit(i, actor, BWD) for i in reversed(range(n_mbs))]
+            out.append(seq)
+        return out
+
+
+class OneFOneB(Schedule):
+    """1F1B (PipeDream-flush, Narayanan et al. 2019): warm up with
+    ``p - 1 - rank`` forwards, then alternate one-forward-one-backward.
+    Peak activation memory grows with the number of *stages*, not
+    microbatches (§2.2.1's 2-3x activation-memory reduction)."""
+
+    def __init__(self, n_stages: int, n_actors: int | None = None):
+        if n_actors is None:
+            n_actors = n_stages
+        if n_stages != n_actors:
+            raise ValueError("OneFOneB places one stage per actor; use Interleaved1F1B for circular repeat")
+        self.n_stages = n_stages
+        self.n_actors = n_actors
+
+    def actor_of_stage(self, stage: int) -> int:
+        return stage
+
+    def units(self, n_mbs: int) -> list[list[Unit]]:
+        p = self.n_actors
+        out = []
+        for rank in range(p):
+            warmup = min(p - 1 - rank, n_mbs)
+            seq = [Unit(i, rank, FWD) for i in range(warmup)]
+            nf, nb = warmup, 0
+            while nb < n_mbs:
+                if nf < n_mbs:
+                    seq.append(Unit(nf, rank, FWD))
+                    nf += 1
+                seq.append(Unit(nb, rank, BWD))
+                nb += 1
+            out.append(seq)
+        return out
+
+
+class Interleaved1F1B(Schedule):
+    """Interleaved 1F1B (Narayanan et al. 2021): each actor owns
+    ``circular_repeat`` (the paper's "degree of circular repeat", a.k.a.
+    virtual pipeline) stages, assigned round-robin: stage ``s`` runs on
+    actor ``s % n_actors``. Microbatches advance in groups of ``n_actors``.
+
+    Requires ``n_mbs % n_actors == 0`` (Megatron's constraint).
+    """
+
+    def __init__(self, n_actors: int, circular_repeat: int):
+        if circular_repeat < 1:
+            raise ValueError("circular_repeat must be >= 1")
+        self.n_actors = n_actors
+        self.v = circular_repeat
+        self.n_stages = n_actors * circular_repeat
+
+    def actor_of_stage(self, stage: int) -> int:
+        return stage % self.n_actors
+
+    # -- Megatron-style global orders ----------------------------------------
+    def _fwd_unit(self, rank: int, k: int, n_mbs: int) -> Unit:
+        p, v = self.n_actors, self.v
+        group, within = divmod(k, p * v)
+        chunk, mb_in_group = divmod(within, p)
+        mb = group * p + mb_in_group
+        stage = chunk * p + rank
+        return Unit(mb, stage, FWD)
+
+    def _bwd_unit(self, rank: int, k: int, n_mbs: int) -> Unit:
+        p, v = self.n_actors, self.v
+        group, within = divmod(k, p * v)
+        chunk, mb_in_group = divmod(within, p)
+        mb = group * p + mb_in_group
+        stage = (v - 1 - chunk) * p + rank
+        return Unit(mb, stage, BWD)
+
+    def units(self, n_mbs: int) -> list[list[Unit]]:
+        p, v = self.n_actors, self.v
+        if n_mbs % p != 0:
+            raise ValueError(
+                f"Interleaved1F1B needs n_mbs divisible by n_actors ({n_mbs} % {p})"
+            )
+        total = n_mbs * v
+        out = []
+        for rank in range(p):
+            warmup = min((p - rank - 1) * 2 + (v - 1) * p, total)
+            seq: list[Unit] = []
+            nf = nb = 0
+            for _ in range(warmup):
+                seq.append(self._fwd_unit(rank, nf, n_mbs))
+                nf += 1
+            while nf < total:
+                seq.append(self._fwd_unit(rank, nf, n_mbs))
+                nf += 1
+                seq.append(self._bwd_unit(rank, nb, n_mbs))
+                nb += 1
+            while nb < total:
+                seq.append(self._bwd_unit(rank, nb, n_mbs))
+                nb += 1
+            out.append(seq)
+        return out
+
+    @property
+    def name(self) -> str:
+        return f"Interleaved1F1B(v={self.v})"
+
+
+# ---------------------------------------------------------------------------
+# validation & analysis
+# ---------------------------------------------------------------------------
+
+def _iter_deps(unit: Unit, n_stages: int) -> Iterator[Unit]:
+    """Units that must complete before ``unit`` may run."""
+    if unit.kind == FWD:
+        if unit.stage > 0:
+            yield Unit(unit.mb, unit.stage - 1, FWD)
+    else:
+        yield Unit(unit.mb, unit.stage, FWD)
+        if unit.stage < n_stages - 1:
+            yield Unit(unit.mb, unit.stage + 1, BWD)
+
+
+def validate_schedule(schedule: Schedule, n_mbs: int) -> None:
+    """Check completeness, placement, and deadlock-freedom of a schedule.
+
+    Raises ``ValueError`` describing the first violation.
+    """
+    per_actor = schedule.units(n_mbs)
+    if len(per_actor) != schedule.n_actors:
+        raise ValueError("schedule emitted wrong number of actor lists")
+
+    expected = {
+        (mb, s, k)
+        for mb in range(n_mbs)
+        for s in range(schedule.n_stages)
+        for k in (FWD, BWD)
+    }
+    seen: set[tuple[int, int, str]] = set()
+    for actor, seq in enumerate(per_actor):
+        for u in seq:
+            key = (u.mb, u.stage, u.kind)
+            if key in seen:
+                raise ValueError(f"unit {u} scheduled twice")
+            seen.add(key)
+            if schedule.actor_of_stage(u.stage) != actor:
+                raise ValueError(
+                    f"unit {u} scheduled on actor {actor}, but stage "
+                    f"{u.stage} belongs to actor {schedule.actor_of_stage(u.stage)}"
+                )
+    if seen != expected:
+        missing = sorted(expected - seen)[:5]
+        raise ValueError(f"schedule incomplete; missing units like {missing}")
+
+    # Deadlock-freedom: greedily execute respecting per-actor order and
+    # cross-actor dependencies.
+    done: set[tuple[int, int, str]] = set()
+    pcs = [0] * schedule.n_actors
+    total = sum(len(s) for s in per_actor)
+    while len(done) < total:
+        progress = False
+        for a, seq in enumerate(per_actor):
+            while pcs[a] < len(seq):
+                u = seq[pcs[a]]
+                deps = [
+                    (d.mb, d.stage, d.kind) for d in _iter_deps(u, schedule.n_stages)
+                ]
+                if all(d in done for d in deps):
+                    done.add((u.mb, u.stage, u.kind))
+                    pcs[a] += 1
+                    progress = True
+                else:
+                    break
+        if not progress:
+            stuck = [seq[pcs[a]] for a, seq in enumerate(per_actor) if pcs[a] < len(seq)]
+            raise ValueError(f"schedule deadlocks; stuck units: {stuck[:4]}")
+
+
+def schedule_stats(
+    schedule: Schedule,
+    n_mbs: int,
+    fwd_time: float = 1.0,
+    bwd_time: float = 2.0,
+) -> dict:
+    """Analytic execution of a schedule under uniform stage costs.
+
+    Returns makespan, per-actor busy/idle (bubble) time, and peak count of
+    live activations per actor — the quantities behind §2.2.1's memory and
+    §5.1's throughput discussions.
+    """
+    per_actor = schedule.units(n_mbs)
+    finish: dict[tuple[int, int, str], float] = {}
+    actor_time = [0.0] * schedule.n_actors
+    live = [0] * schedule.n_actors
+    peak_live = [0] * schedule.n_actors
+    pcs = [0] * schedule.n_actors
+    total = sum(len(s) for s in per_actor)
+    executed = 0
+    while executed < total:
+        progress = False
+        for a, seq in enumerate(per_actor):
+            while pcs[a] < len(seq):
+                u = seq[pcs[a]]
+                deps = list(_iter_deps(u, schedule.n_stages))
+                if not all((d.mb, d.stage, d.kind) in finish for d in deps):
+                    break
+                start = max(
+                    [actor_time[a]] + [finish[(d.mb, d.stage, d.kind)] for d in deps]
+                )
+                dur = fwd_time if u.kind == FWD else bwd_time
+                end = start + dur
+                finish[(u.mb, u.stage, u.kind)] = end
+                actor_time[a] = end
+                if u.kind == FWD:
+                    live[a] += 1
+                    peak_live[a] = max(peak_live[a], live[a])
+                else:
+                    live[a] -= 1
+                pcs[a] += 1
+                executed += 1
+                progress = True
+        if not progress:  # pragma: no cover - guarded by validate_schedule
+            raise ValueError("schedule deadlocks")
+    makespan = max(actor_time)
+    busy = [
+        sum(fwd_time if u.kind == FWD else bwd_time for u in seq) for seq in per_actor
+    ]
+    return {
+        "makespan": makespan,
+        "busy": busy,
+        "bubble_fraction": 1.0 - sum(busy) / (makespan * schedule.n_actors),
+        "peak_live_activations": peak_live,
+    }

@@ -1,0 +1,287 @@
+"""Stage splitting: pipeline-loop body -> per-stage tasks (§3.2–3.3).
+
+Implements the paper's placement heuristic verbatim: *"a task is formed for
+each pipeline_yield operation, comprising of all computations it depends
+on"* (processed in topological order, each claiming the not-yet-assigned
+part of its dependency closure), *"then the remaining computations ... are
+placed on the same task of their operands or a new task"*.
+
+For a body with forward yields ``0..n-1`` (so ``n+1`` stages) this yields
+the task list of Figure 3::
+
+    F0, F1, ..., F_{n-1},   # forward stages
+    FLB_n,                  # fused last-stage forward + loss + backward
+    B_{n-1}, ..., B1, B0    # backward stages
+
+The fused ``FLB`` task falls out of the heuristic naturally: the first
+*backward* yield's dependency closure contains the last forward stage, the
+loss, and its backward.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.ir.jaxpr import Atom, Eqn, Jaxpr, Literal, Var, dce, eqn_dependencies
+from repro.ir.pipeline import BWD, FWD, pipeline_yield_p
+
+__all__ = ["StageTask", "SplitResult", "split_stages"]
+
+FWD_KIND = "fwd"
+BWD_KIND = "bwd"
+FUSED_KIND = "fwd_loss_bwd"
+
+
+@dataclasses.dataclass
+class StageTask:
+    """One pipeline task: a closed sub-program of the loop body.
+
+    Attributes:
+        index: position in the body's task order (F0 .. B0).
+        kind: ``"fwd"``, ``"bwd"``, or ``"fwd_loss_bwd"`` (fused last stage).
+        stage: pipeline stage id in ``0..n_stages-1``.
+        jaxpr: the task body; its invars are fresh Vars mirroring
+            ``in_atoms``.
+        in_atoms: body-coordinate atoms consumed (body invars or other
+            tasks' outputs), aligned with ``jaxpr.invars``.
+        out_vars: body-coordinate vars this task defines that escape it
+            (consumed by other tasks or returned by the loop), aligned with
+            ``jaxpr.outvars``.
+    """
+
+    index: int
+    kind: str
+    stage: int
+    jaxpr: Jaxpr
+    in_atoms: list[Atom]
+    out_vars: list[Var]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StageTask({self.kind}, stage={self.stage}, eqns={self.jaxpr.n_eqns})"
+
+
+@dataclasses.dataclass
+class SplitResult:
+    """Output of :func:`split_stages`.
+
+    Attributes:
+        tasks: tasks in body order.
+        n_stages: number of pipeline stages (= forward yields + 1).
+        fwd_task_of_stage / bwd_task_of_stage: task index by stage id (the
+            last stage maps to the same fused task in both).
+        assignment: body eqn index -> task index (the raw claim map; used
+            by the loop-commuting pass to locate task-internal producers).
+    """
+
+    tasks: list[StageTask]
+    n_stages: int
+    fwd_task_of_stage: dict[int, int]
+    bwd_task_of_stage: dict[int, int]
+    assignment: dict[int, int] = dataclasses.field(default_factory=dict)
+    # the DCE'd body the split (and `assignment` indices) refer to — callers
+    # doing follow-up rewrites must work in these coordinates
+    body: Jaxpr | None = None
+
+
+def split_stages(body: Jaxpr) -> SplitResult:
+    """Split a traced loop body at its ``pipeline_yield`` markers."""
+    body = dce(body, keep_effects=lambda e: e.prim is pipeline_yield_p)
+    deps = eqn_dependencies(body.eqns)
+
+    markers = [
+        (i, e) for i, e in enumerate(body.eqns) if e.prim is pipeline_yield_p
+    ]
+    fwd_indices = sorted(
+        {e.params["index"] for _, e in markers if e.params["direction"] == FWD}
+    )
+    if not fwd_indices:
+        raise ValueError(
+            "pipeline body has no pipeline_yield markers; nothing to split"
+        )
+    if fwd_indices != list(range(len(fwd_indices))):
+        raise ValueError(f"non-contiguous yield indices: {fwd_indices}")
+    n_yields = len(fwd_indices)
+    n_stages = n_yields + 1
+    has_bwd = any(e.params["direction"] == BWD for _, e in markers)
+
+    # Group markers by (direction, index): a pytree yield produces several
+    # marker equations sharing one boundary.
+    assignment: dict[int, int] = {}  # eqn idx -> task idx
+    task_descr: list[tuple[str, int]] = []  # (kind, stage)
+
+    def claim(eqn_idx: int, task_id: int) -> None:
+        """Assign the unassigned dependency closure of ``eqn_idx``."""
+        stack = [eqn_idx]
+        while stack:
+            i = stack.pop()
+            if i in assignment:
+                continue
+            assignment[i] = task_id
+            stack.extend(d for d in deps[i] if d not in assignment)
+
+    # Process boundaries in topological (trace) order.
+    seen_boundaries: list[tuple[str, int]] = []
+    for i, e in markers:
+        key = (e.params["direction"], e.params["index"])
+        if key not in seen_boundaries:
+            seen_boundaries.append(key)
+
+    for direction, index in seen_boundaries:
+        if direction == FWD:
+            kind, stage = FWD_KIND, index
+        elif index == n_yields - 1:
+            # first backward boundary: fused last-stage fwd+loss+bwd
+            kind, stage = FUSED_KIND, n_stages - 1
+        else:
+            kind, stage = BWD_KIND, index + 1
+        task_id = len(task_descr)
+        task_descr.append((kind, stage))
+        for i, e in markers:
+            if (e.params["direction"], e.params["index"]) == (direction, index):
+                claim(i, task_id)
+
+    # Remaining computations — §3.3: "the remaining computations that are
+    # not dependencies of any pipeline_yield operation are placed on the
+    # same task of their operands or a new task". The weight-gradient
+    # matmuls are the canonical case: dW_k feeds no yield, but its operands
+    # (activations of stage k, incoming cotangent) pin it to stage k's
+    # backward task. The final "new task" is the backward of stage 0
+    # (``b1`` in Figure 3), which receives the eqns downstream of the last
+    # backward boundary.
+    final_task_id = len(task_descr)
+    if has_bwd:
+        task_descr.append((BWD_KIND, 0))
+    else:
+        task_descr.append((FWD_KIND, n_stages - 1))
+
+    # A yield marker's *output* logically belongs to the consuming side of
+    # the boundary, not to the task that claimed the marker equation.
+    task_of_boundary: dict[tuple[str, int], int] = {}
+    for tid, key in enumerate(seen_boundaries):
+        task_of_boundary[key] = tid
+    boundary_target: dict[int, int] = {}  # id(marker outvar) -> task idx
+    for i, e in markers:
+        direction, index = e.params["direction"], e.params["index"]
+        if direction == FWD:
+            if index + 1 <= n_yields - 1:
+                tgt = task_of_boundary[(FWD, index + 1)]
+            elif has_bwd:
+                tgt = task_of_boundary[(BWD, n_yields - 1)]  # fused FLB
+            else:
+                tgt = final_task_id
+        else:
+            tgt = task_of_boundary[(BWD, index - 1)] if index > 0 else final_task_id
+        boundary_target[id(e.outvars[0])] = tgt
+
+    producer_of: dict[int, int] = {}
+    for i, e in enumerate(body.eqns):
+        for v in e.outvars:
+            producer_of[id(v)] = i
+
+    for i in range(len(body.eqns)):
+        if i in assignment:
+            continue
+        candidates: list[int] = []
+        for a in body.eqns[i].invars:
+            if not isinstance(a, Var):
+                continue
+            if id(a) in boundary_target:
+                candidates.append(boundary_target[id(a)])
+                continue
+            p = producer_of.get(id(a))
+            if p is not None and p in assignment:
+                candidates.append(assignment[p])
+        assignment[i] = max(candidates) if candidates else final_task_id
+
+    return _build_tasks(body, assignment, task_descr, n_stages, has_bwd)
+
+
+def _build_tasks(
+    body: Jaxpr,
+    assignment: dict[int, int],
+    task_descr: list[tuple[str, int]],
+    n_stages: int,
+    has_bwd: bool,
+) -> SplitResult:
+    n_tasks = len(task_descr)
+    eqns_of: list[list[Eqn]] = [[] for _ in range(n_tasks)]
+    for i, eqn in enumerate(body.eqns):
+        eqns_of[assignment[i]].append(eqn)
+
+    producer_task: dict[int, int] = {}
+    for i, eqn in enumerate(body.eqns):
+        for v in eqn.outvars:
+            producer_task[id(v)] = assignment[i]
+
+    body_out_ids = {id(a) for a in body.outvars if isinstance(a, Var)}
+
+    tasks: list[StageTask] = []
+    for t in range(n_tasks):
+        kind, stage = task_descr[t]
+        in_atoms: list[Atom] = []
+        in_ids: dict[int, Var] = {}
+        sub_eqns: list[Eqn] = []
+        local_of: dict[int, Var] = {}
+
+        def local_in(atom: Atom) -> Atom:
+            if isinstance(atom, Literal):
+                return atom
+            if id(atom) in local_of:
+                return local_of[id(atom)]
+            if id(atom) in in_ids:
+                return in_ids[id(atom)]
+            v = Var(atom.aval)
+            in_ids[id(atom)] = v
+            in_atoms.append(atom)
+            return v
+
+        for eqn in eqns_of[t]:
+            new_in = []
+            for a in eqn.invars:
+                if isinstance(a, Var) and producer_task.get(id(a)) == t:
+                    new_in.append(local_of[id(a)])
+                else:
+                    new_in.append(local_in(a))
+            new_out = [Var(v.aval) for v in eqn.outvars]
+            for old, new in zip(eqn.outvars, new_out):
+                local_of[id(old)] = new
+            sub_eqns.append(Eqn(eqn.prim, new_in, new_out, dict(eqn.params)))
+
+        out_vars: list[Var] = []
+        local_outs: list[Var] = []
+        for eqn in eqns_of[t]:
+            for v in eqn.outvars:
+                used_elsewhere = False
+                if id(v) in body_out_ids:
+                    used_elsewhere = True
+                else:
+                    for j, other in enumerate(body.eqns):
+                        if assignment[j] == t:
+                            continue
+                        if any(isinstance(a, Var) and a is v for a in other.invars):
+                            used_elsewhere = True
+                            break
+                if used_elsewhere:
+                    out_vars.append(v)
+                    local_outs.append(local_of[id(v)])
+
+        sub_invars = [in_ids[id(a)] for a in in_atoms]
+        tasks.append(
+            StageTask(
+                index=t,
+                kind=kind,
+                stage=stage,
+                jaxpr=Jaxpr(sub_invars, sub_eqns, list(local_outs)),
+                in_atoms=in_atoms,
+                out_vars=out_vars,
+            )
+        )
+
+    fwd_of = {}
+    bwd_of = {}
+    for t in tasks:
+        if t.kind in (FWD_KIND, FUSED_KIND):
+            fwd_of[t.stage] = t.index
+        if t.kind in (BWD_KIND, FUSED_KIND):
+            bwd_of[t.stage] = t.index
+    return SplitResult(tasks, n_stages, fwd_of, bwd_of, dict(assignment), body)

@@ -1,0 +1,6 @@
+"""Synthetic workload generators (deterministic stand-ins for the paper's
+training data)."""
+
+from repro.data.synthetic import microbatch, regression_batches, token_batches
+
+__all__ = ["token_batches", "regression_batches", "microbatch"]

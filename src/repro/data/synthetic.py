@@ -1,0 +1,76 @@
+"""Deterministic synthetic workloads.
+
+The paper trains on real token streams we do not have; these generators
+produce deterministic synthetic equivalents that exercise identical code
+paths: integer token sequences with a Zipf-like marginal (language-model
+shape), and teacher-generated regression batches (MLP shape). Shapes follow
+Figure 4's convention — batches arrive already microbatched as
+``(n_mbs, mbsz, ...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["token_batches", "regression_batches", "microbatch"]
+
+
+def token_batches(
+    vocab: int,
+    seq: int,
+    n_mbs: int,
+    mbsz: int,
+    n_batches: int,
+    seed: int = 0,
+    zipf_a: float = 1.3,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(tokens, targets)`` int32 pairs shaped ``(n_mbs, mbsz, seq)``.
+
+    Targets are the next-token shift of a ``seq+1``-long sample, and token
+    frequencies follow a truncated Zipf distribution so the cross-entropy
+    is learnable (the embedding of frequent tokens trains fastest, like
+    real text).
+    """
+    rng = np.random.RandomState(seed)
+    ranks = np.arange(1, vocab + 1, dtype=np.float64)
+    probs = ranks ** (-zipf_a)
+    probs /= probs.sum()
+    for _ in range(n_batches):
+        flat = rng.choice(vocab, size=(n_mbs, mbsz, seq + 1), p=probs)
+        yield (
+            flat[..., :seq].astype(np.int32),
+            flat[..., 1:].astype(np.int32),
+        )
+
+
+def regression_batches(
+    d_in: int,
+    d_out: int,
+    n_mbs: int,
+    mbsz: int,
+    n_batches: int,
+    seed: int = 0,
+    noise: float = 0.05,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(x, y)`` float32 pairs shaped ``(n_mbs, mbsz, d)``.
+
+    ``y`` comes from a fixed random teacher network plus Gaussian noise,
+    so losses have a known achievable floor.
+    """
+    rng = np.random.RandomState(seed)
+    teacher = rng.randn(d_in, d_out).astype(np.float32) / np.sqrt(d_in)
+    for _ in range(n_batches):
+        x = rng.randn(n_mbs, mbsz, d_in).astype(np.float32)
+        y = np.tanh(x @ teacher) + noise * rng.randn(n_mbs, mbsz, d_out).astype(np.float32)
+        yield x, y.astype(np.float32)
+
+
+def microbatch(batch: np.ndarray, n_mbs: int) -> np.ndarray:
+    """Reshape a flat batch ``(B, ...)`` into ``(n_mbs, B//n_mbs, ...)`` —
+    the reshape on line 2 of Figure 3."""
+    b = np.asarray(batch)
+    if b.shape[0] % n_mbs != 0:
+        raise ValueError(f"batch of {b.shape[0]} does not split into {n_mbs} microbatches")
+    return b.reshape(n_mbs, b.shape[0] // n_mbs, *b.shape[1:])

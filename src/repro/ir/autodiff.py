@@ -1,0 +1,161 @@
+"""Reverse-mode automatic differentiation as an IR-to-IR transform.
+
+``value_and_grad(f)`` traces ``f`` into a sub-jaxpr, re-plays it through the
+active context (inlining the forward equations), then walks the tape in
+reverse applying each primitive's VJP rule. Because VJP rules are written in
+user-level ops, the backward pass *emits equations into the same trace* —
+producing exactly the combined forward+backward program of the paper's
+Figure 3, with backward ``pipeline_yield`` markers generated automatically
+at stage boundaries.
+
+Closures are handled: if ``f`` closes over tracers of an outer trace (the
+``state.params`` capture in Figure 4), they are lifted as free variables and
+do not receive gradients (matching ``jax.grad``'s treatment of captured
+tracers as constants would be wrong — JAX differentiates only explicit
+arguments, which is also what we do).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.ir import ops
+from repro.ir.avals import abstractify
+from repro.ir.dtypes import is_float
+from repro.ir.interpreter import eval_jaxpr_with_tape
+from repro.ir.jaxpr import Literal, Var
+from repro.ir.pytree import tree_flatten, tree_unflatten
+from repro.ir.tracer import trace_flat
+
+__all__ = ["value_and_grad", "grad"]
+
+
+def value_and_grad(
+    f: Callable[..., Any],
+    argnums: int | Sequence[int] = 0,
+    has_aux: bool = False,
+) -> Callable[..., Any]:
+    """Return ``g(*args) -> (value, grads)``.
+
+    ``f`` must return a scalar loss (or ``(loss, aux)`` when ``has_aux``).
+    ``grads`` matches the structure of ``args[argnums]`` (or a tuple of
+    structures for tuple ``argnums``). Works eagerly on NumPy inputs and
+    symbolically under a trace.
+    """
+    single = isinstance(argnums, int)
+    argnum_tuple = (argnums,) if single else tuple(argnums)
+
+    def wrapped(*args: Any) -> Any:
+        # Flatten each argument separately so we can map gradient slots
+        # back to the requested argnums.
+        flats, trees, offsets = [], [], [0]
+        for a in args:
+            leaves, td = tree_flatten(a)
+            flats.extend(leaves)
+            trees.append(td)
+            offsets.append(offsets[-1] + len(leaves))
+
+        aux_cell: dict[str, Any] = {}
+
+        def f_flat(*flat_leaves: Any) -> list[Any]:
+            rebuilt = [
+                tree_unflatten(trees[i], flat_leaves[offsets[i]:offsets[i + 1]])
+                for i in range(len(args))
+            ]
+            out = f(*rebuilt)
+            if has_aux:
+                if not (isinstance(out, tuple) and len(out) == 2):
+                    raise TypeError("has_aux=True requires f to return (loss, aux)")
+                loss, aux = out
+            else:
+                loss, aux = out, None
+            aux_leaves, aux_tree = tree_flatten(aux)
+            aux_cell["tree"] = aux_tree
+            aux_cell["n"] = len(aux_leaves)
+            return [loss, *aux_leaves]
+
+        in_avals = [abstractify(x) for x in flats]
+        jaxpr, free_vals = trace_flat(f_flat, in_avals, name="value_and_grad")
+
+        loss_aval = jaxpr.outvars[0].aval
+        if loss_aval.shape != ():
+            raise TypeError(f"loss must be scalar, got {loss_aval!r}")
+        if not is_float(loss_aval.dtype):
+            raise TypeError(f"loss must be floating point, got {loss_aval!r}")
+
+        # Forward replay (inlines into any active trace), recording a tape.
+        outs, tape = eval_jaxpr_with_tape(jaxpr, list(flats) + list(free_vals))
+        loss = outs[0]
+
+        # Reverse sweep.
+        ct_env: dict[int, Any] = {}
+        loss_atom = jaxpr.outvars[0]
+        if isinstance(loss_atom, Var):
+            ct_env[id(loss_atom)] = ops.ones((), loss_aval.dtype)
+        # else: loss is a literal constant; all gradients are zero.
+
+        for entry in reversed(tape):
+            eqn = entry.eqn
+            cts_out = [ct_env.pop(id(v), None) for v in eqn.outvars]
+            if all(c is None for c in cts_out):
+                continue
+            if not eqn.prim.differentiable:
+                # Cotangent arrived at a non-differentiable op whose inputs
+                # are all non-float (comparisons etc.): drop silently only
+                # when no float input could receive it.
+                if any(is_float(abstractify(v).dtype) for v in entry.invals):
+                    raise TypeError(
+                        f"cannot differentiate through primitive {eqn.prim.name!r}"
+                    )
+                continue
+            cts_in = eqn.prim.vjp(cts_out, entry.invals, entry.outvals, **eqn.params)
+            if len(cts_in) != len(eqn.invars):
+                raise RuntimeError(
+                    f"vjp rule of {eqn.prim.name} returned {len(cts_in)} "
+                    f"cotangents for {len(eqn.invars)} inputs"
+                )
+            for atom, ct in zip(eqn.invars, cts_in):
+                if ct is None or isinstance(atom, Literal):
+                    continue
+                prev = ct_env.get(id(atom))
+                ct_env[id(atom)] = ct if prev is None else ops.add(prev, ct)
+
+        # Collect gradients for the requested arguments.
+        grad_trees = []
+        for an in argnum_tuple:
+            if not (0 <= an < len(args)):
+                raise ValueError(f"argnums {an} out of range for {len(args)} args")
+            leaves = []
+            for v in jaxpr.invars[offsets[an]:offsets[an + 1]]:
+                g = ct_env.get(id(v))
+                if g is None:
+                    g = ops.zeros_like_aval(v.aval)
+                leaves.append(g)
+            grad_trees.append(tree_unflatten(trees[an], leaves))
+        grads = grad_trees[0] if single else tuple(grad_trees)
+
+        if has_aux:
+            aux = tree_unflatten(aux_cell["tree"], outs[1:1 + aux_cell["n"]])
+            return (loss, aux), grads
+        return loss, grads
+
+    return wrapped
+
+
+def grad(
+    f: Callable[..., Any],
+    argnums: int | Sequence[int] = 0,
+    has_aux: bool = False,
+) -> Callable[..., Any]:
+    """Like :func:`value_and_grad` but returning only the gradients (and
+    aux when ``has_aux``)."""
+    vg = value_and_grad(f, argnums=argnums, has_aux=has_aux)
+
+    def wrapped(*args: Any) -> Any:
+        out, grads = vg(*args)
+        if has_aux:
+            _, aux = out
+            return grads, aux
+        return grads
+
+    return wrapped

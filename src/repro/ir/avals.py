@@ -1,0 +1,96 @@
+"""Abstract values (shape + dtype) for the mini-JAX IR.
+
+Every variable in a :class:`~repro.ir.jaxpr.Jaxpr` carries a
+:class:`ShapedArray`, the same abstraction JAX uses: enough structure for
+the SPMD partitioner and the MPMD stage splitter to reason about programs
+without concrete data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.ir import dtypes
+from repro.ir.dtypes import DType
+
+__all__ = ["ShapedArray", "abstractify", "broadcast_shapes"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ShapedArray:
+    """Static shape and dtype of an array value.
+
+    Attributes:
+        shape: tuple of ints (static shapes only; the paper's pipeline
+            transformations never need dynamic shapes).
+        dtype: logical :class:`~repro.ir.dtypes.DType`.
+    """
+
+    shape: tuple[int, ...]
+    dtype: DType
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", tuple(int(d) for d in self.shape))
+        if not isinstance(self.dtype, DType):
+            object.__setattr__(self, "dtype", dtypes.canonicalize_dtype(self.dtype))
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return math.prod(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        """Logical size in bytes (uses the *logical* itemsize, e.g. 2 for
+        bf16), which is what the memory model and object store account."""
+        return self.size * self.dtype.itemsize
+
+    def update(self, shape: tuple[int, ...] | None = None, dtype: DType | None = None) -> "ShapedArray":
+        """Return a copy with ``shape`` and/or ``dtype`` replaced."""
+        return ShapedArray(
+            self.shape if shape is None else tuple(shape),
+            self.dtype if dtype is None else dtype,
+        )
+
+    def __repr__(self) -> str:
+        dims = ",".join(str(d) for d in self.shape)
+        return f"{self.dtype.name}[{dims}]"
+
+
+def abstractify(value: object) -> ShapedArray:
+    """Compute the :class:`ShapedArray` of a concrete value.
+
+    Accepts NumPy arrays, Python scalars, and anything with ``.aval``
+    (tracers and device buffers).
+    """
+    aval = getattr(value, "aval", None)
+    if aval is not None:
+        return aval
+    if isinstance(value, (bool, np.bool_)):
+        return ShapedArray((), dtypes.bool_)
+    if isinstance(value, (int, np.integer)):
+        return ShapedArray((), dtypes.int32)
+    if isinstance(value, (float, np.floating)):
+        return ShapedArray((), dtypes.float32)
+    arr = np.asarray(value)
+    return ShapedArray(arr.shape, dtypes.canonicalize_dtype(arr.dtype))
+
+
+def broadcast_shapes(*shapes: tuple[int, ...]) -> tuple[int, ...]:
+    """NumPy broadcasting rule over static shapes.
+
+    Raises:
+        ValueError: if the shapes are not broadcast-compatible.
+    """
+    try:
+        return tuple(int(d) for d in np.broadcast_shapes(*shapes))
+    except ValueError as e:
+        raise ValueError(f"shapes are not broadcastable: {shapes}") from e

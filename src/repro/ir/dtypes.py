@@ -1,0 +1,108 @@
+"""Dtype registry for the mini-JAX IR.
+
+We track dtypes separately from NumPy for one reason the paper cares about:
+**byte accounting**. Training in the paper runs at BF16 while NumPy has no
+native bfloat16, so :class:`DType` records the *logical* itemsize (2 bytes
+for bf16) used by the memory model and the runtime object store, while the
+*storage* dtype used for actual NumPy computation may be wider (float32).
+Numerics are therefore exact while memory/communication volumes match the
+paper's precision.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = [
+    "DType",
+    "float32",
+    "bfloat16",
+    "float16",
+    "int32",
+    "int64",
+    "bool_",
+    "canonicalize_dtype",
+    "promote_types",
+    "is_float",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class DType:
+    """A logical dtype.
+
+    Attributes:
+        name: human-readable name (``"bfloat16"``).
+        np_dtype: NumPy dtype used for actual computation.
+        itemsize: logical bytes per element, used for all memory and
+            communication accounting (2 for bf16 even though computation is
+            carried out in float32).
+        inexact: whether the dtype supports gradients.
+    """
+
+    name: str
+    np_dtype: np.dtype
+    itemsize: int
+    inexact: bool
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+float32 = DType("float32", np.dtype(np.float32), 4, True)
+# bfloat16 computes in float32 (NumPy has no bf16) but is *accounted* at
+# 2 bytes/element, matching the BF16 training runs in the paper.
+bfloat16 = DType("bfloat16", np.dtype(np.float32), 2, True)
+float16 = DType("float16", np.dtype(np.float16), 2, True)
+int32 = DType("int32", np.dtype(np.int32), 4, False)
+int64 = DType("int64", np.dtype(np.int64), 8, False)
+bool_ = DType("bool", np.dtype(np.bool_), 1, False)
+
+_BY_NP: dict[np.dtype, DType] = {
+    np.dtype(np.float64): float32,  # canonicalized down, like JAX's x64 default
+    np.dtype(np.float32): float32,
+    np.dtype(np.float16): float16,
+    np.dtype(np.int64): int32,  # canonicalized down
+    np.dtype(np.int32): int32,
+    np.dtype(np.int16): int32,
+    np.dtype(np.int8): int32,
+    np.dtype(np.uint32): int32,
+    np.dtype(np.uint64): int32,
+    np.dtype(np.bool_): bool_,
+}
+
+
+def canonicalize_dtype(dtype: object) -> DType:
+    """Map a NumPy dtype / Python scalar type / DType to a logical DType.
+
+    Like JAX without ``jax_enable_x64``: float64 canonicalizes to float32
+    and int64 to int32 so that results are deterministic across platforms.
+    """
+    if isinstance(dtype, DType):
+        return dtype
+    npd = np.dtype(dtype)
+    try:
+        return _BY_NP[npd]
+    except KeyError:
+        raise TypeError(f"unsupported dtype: {dtype!r}") from None
+
+
+def is_float(dtype: DType) -> bool:
+    """True if ``dtype`` participates in differentiation."""
+    return dtype.inexact
+
+
+def promote_types(a: DType, b: DType) -> DType:
+    """Binary dtype promotion.
+
+    The lattice is small and explicit: bool < int32 < int64 < float16/bf16 <
+    float32. Mixing bf16 with f16 promotes to float32 (they are unordered).
+    """
+    if a is b:
+        return a
+    order = {bool_: 0, int32: 1, int64: 2, float16: 3, bfloat16: 3, float32: 4}
+    if order[a] == order[b]:  # float16 vs bfloat16
+        return float32
+    return a if order[a] > order[b] else b

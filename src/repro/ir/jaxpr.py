@@ -1,0 +1,183 @@
+"""The typed dataflow IR ("Jaxpr") that every compiler pass operates on.
+
+This mirrors JAX's Jaxpr closely enough that the paper's transformations
+(stage splitting, placement inference, loop commuting) translate directly:
+a :class:`Jaxpr` is a list of single-assignment :class:`Eqn` equations over
+:class:`Var`/:class:`Literal` atoms, with declared inputs and outputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.ir.avals import ShapedArray, abstractify
+
+__all__ = ["Var", "Literal", "Atom", "Eqn", "Jaxpr", "dce", "validate", "pretty_print"]
+
+_var_ids = itertools.count()
+
+
+class Var:
+    """A single-assignment IR variable. Identity-hashed; ``id`` is a global
+    counter used only for stable printing."""
+
+    __slots__ = ("id", "aval")
+
+    def __init__(self, aval: ShapedArray):
+        self.id = next(_var_ids)
+        self.aval = aval
+
+    def __repr__(self) -> str:
+        return f"v{self.id}:{self.aval!r}"
+
+
+class Literal:
+    """A constant embedded in an equation's inputs."""
+
+    __slots__ = ("value", "aval")
+
+    def __init__(self, value: np.ndarray, aval: ShapedArray | None = None):
+        self.value = value
+        self.aval = abstractify(value) if aval is None else aval
+
+    def __repr__(self) -> str:
+        if self.aval.size == 1:
+            return f"{np.asarray(self.value).reshape(())}"
+        return f"lit{self.aval!r}"
+
+
+Atom = Var | Literal
+
+
+class Eqn:
+    """One IR equation: ``outvars = prim(*invars, **params)``."""
+
+    __slots__ = ("prim", "invars", "outvars", "params")
+
+    def __init__(self, prim: Any, invars: list[Atom], outvars: list[Var], params: dict[str, Any]):
+        self.prim = prim
+        self.invars = invars
+        self.outvars = outvars
+        self.params = params
+
+    def __repr__(self) -> str:
+        outs = ", ".join(repr(v) for v in self.outvars)
+        ins = ", ".join(repr(v) for v in self.invars)
+        ps = ""
+        if self.params:
+            shown = {k: v for k, v in self.params.items() if not k.startswith("_")}
+            if shown:
+                ps = " [" + ", ".join(f"{k}={_short(v)}" for k, v in shown.items()) + "]"
+        return f"{outs} = {self.prim.name}{ps} {ins}"
+
+
+def _short(v: Any) -> str:
+    s = repr(v)
+    return s if len(s) <= 40 else s[:37] + "..."
+
+
+class Jaxpr:
+    """A closed, typed dataflow program.
+
+    Attributes:
+        invars: declared inputs, in call order. When a function was traced
+            with free variables (closure over outer tracers), the lifted
+            free variables appear *after* the explicit arguments.
+        eqns: equations in topological (trace) order.
+        outvars: outputs; may be ``Var`` or ``Literal`` (constant outputs).
+    """
+
+    __slots__ = ("invars", "eqns", "outvars")
+
+    def __init__(self, invars: list[Var], eqns: list[Eqn], outvars: list[Atom]):
+        self.invars = invars
+        self.eqns = eqns
+        self.outvars = outvars
+
+    def __repr__(self) -> str:
+        return pretty_print(self)
+
+    @property
+    def n_eqns(self) -> int:
+        """Number of equations."""
+        return len(self.eqns)
+
+
+def pretty_print(jaxpr: Jaxpr) -> str:
+    """Human-readable multi-line rendering of a :class:`Jaxpr`."""
+    lines = ["{ lambda " + " ".join(repr(v) for v in jaxpr.invars) + " ."]
+    for eqn in jaxpr.eqns:
+        lines.append(f"    {eqn!r}")
+    lines.append("  return (" + ", ".join(repr(v) for v in jaxpr.outvars) + ") }")
+    return "\n".join(lines)
+
+
+def validate(jaxpr: Jaxpr) -> None:
+    """Check IR well-formedness.
+
+    Verifies single assignment, def-before-use, and that every output is
+    either a literal or a defined/input variable. Raises ``ValueError`` on
+    the first violation. Compiler passes call this in their own tests to
+    guarantee they preserve well-formedness.
+    """
+    defined: set[int] = {id(v) for v in jaxpr.invars}
+    if len(defined) != len(jaxpr.invars):
+        raise ValueError("duplicate invars")
+    for i, eqn in enumerate(jaxpr.eqns):
+        for a in eqn.invars:
+            if isinstance(a, Var) and id(a) not in defined:
+                raise ValueError(f"eqn {i} ({eqn.prim.name}) uses undefined {a!r}")
+        for v in eqn.outvars:
+            if id(v) in defined:
+                raise ValueError(f"eqn {i} redefines {v!r}")
+            defined.add(id(v))
+    for a in jaxpr.outvars:
+        if isinstance(a, Var) and id(a) not in defined:
+            raise ValueError(f"output {a!r} is undefined")
+
+
+def dce(jaxpr: Jaxpr, keep_effects: Callable[[Eqn], bool] | None = None) -> Jaxpr:
+    """Dead code elimination.
+
+    Removes equations none of whose outputs are (transitively) used by the
+    jaxpr outputs. ``keep_effects`` may mark equations that must be kept
+    regardless (none of our primitives are effectful, but passes can opt
+    markers in).
+    """
+    live: set[int] = {id(a) for a in jaxpr.outvars if isinstance(a, Var)}
+    keep: list[Eqn] = []
+    for eqn in reversed(jaxpr.eqns):
+        needed = any(id(v) in live for v in eqn.outvars)
+        if not needed and keep_effects is not None and keep_effects(eqn):
+            needed = True
+        if needed:
+            keep.append(eqn)
+            for a in eqn.invars:
+                if isinstance(a, Var):
+                    live.add(id(a))
+    keep.reverse()
+    return Jaxpr(jaxpr.invars, keep, jaxpr.outvars)
+
+
+def eqn_dependencies(eqns: Iterable[Eqn]) -> dict[int, set[int]]:
+    """Map eqn index -> set of producer eqn indices (within ``eqns``).
+
+    Used by the stage splitter and task-graph builder to compute dependency
+    closures exactly as §3.3 describes.
+    """
+    eqns = list(eqns)
+    producer: dict[int, int] = {}
+    for i, eqn in enumerate(eqns):
+        for v in eqn.outvars:
+            producer[id(v)] = i
+    deps: dict[int, set[int]] = {}
+    for i, eqn in enumerate(eqns):
+        deps[i] = {
+            producer[id(a)]
+            for a in eqn.invars
+            if isinstance(a, Var) and id(a) in producer
+        }
+    return deps

@@ -1,0 +1,122 @@
+"""Neural-network composites built purely from :mod:`repro.ir.ops`.
+
+Everything here is a composition of primitives (no new primitives, no new
+VJP rules) — the same layering JAX uses for ``jax.nn``. These are the
+building blocks of the example models (FFN of Fig. 1/4, mini-GPT).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.ir import dtypes, ops
+
+__all__ = [
+    "relu", "gelu", "silu", "sigmoid",
+    "softmax", "log_softmax", "logsumexp",
+    "one_hot", "softmax_cross_entropy", "label_smoothing",
+    "layer_norm", "rms_norm", "linear",
+    "causal_mask",
+]
+
+ArrayLike = Any
+
+
+def relu(x: ArrayLike) -> ArrayLike:
+    """Rectified linear unit."""
+    return ops.maximum(x, 0.0)
+
+
+def sigmoid(x: ArrayLike) -> ArrayLike:
+    """Logistic sigmoid, written in terms of tanh for numerical stability."""
+    return ops.mul(0.5, ops.add(1.0, ops.tanh(ops.mul(0.5, x))))
+
+
+def silu(x: ArrayLike) -> ArrayLike:
+    """SiLU / swish activation (used by Llama's SwiGLU MLP)."""
+    return ops.mul(x, sigmoid(x))
+
+
+def gelu(x: ArrayLike, approximate: bool = True) -> ArrayLike:
+    """Gaussian error linear unit (GPT-3's activation).
+
+    ``approximate=True`` uses the tanh approximation (what most trainers
+    run); ``False`` uses the exact erf form.
+    """
+    if approximate:
+        c = math.sqrt(2.0 / math.pi)
+        inner = ops.mul(c, ops.add(x, ops.mul(0.044715, ops.mul(x, ops.mul(x, x)))))
+        return ops.mul(0.5, ops.mul(x, ops.add(1.0, ops.tanh(inner))))
+    return ops.mul(0.5, ops.mul(x, ops.add(1.0, ops.erf(ops.div(x, math.sqrt(2.0))))))
+
+
+def logsumexp(x: ArrayLike, axis: int = -1, keepdims: bool = False) -> ArrayLike:
+    """Numerically-stable log-sum-exp over ``axis``."""
+    m = ops.stop_gradient(ops.reduce_max(x, axes=axis, keepdims=True))
+    shifted = ops.sub(x, m)
+    out = ops.add(ops.log(ops.reduce_sum(ops.exp(shifted), axes=axis, keepdims=True)), m)
+    if not keepdims:
+        out = ops.squeeze(out, axis % len(ops.shape_of(x)))
+    return out
+
+
+def softmax(x: ArrayLike, axis: int = -1) -> ArrayLike:
+    """Softmax over ``axis`` with max-subtraction stabilisation."""
+    m = ops.stop_gradient(ops.reduce_max(x, axes=axis, keepdims=True))
+    e = ops.exp(ops.sub(x, m))
+    return ops.div(e, ops.reduce_sum(e, axes=axis, keepdims=True))
+
+
+def log_softmax(x: ArrayLike, axis: int = -1) -> ArrayLike:
+    """Log-softmax over ``axis``."""
+    return ops.sub(x, logsumexp(x, axis=axis, keepdims=True))
+
+
+def one_hot(labels: ArrayLike, num_classes: int, dtype=dtypes.float32) -> ArrayLike:
+    """One-hot encode integer ``labels`` to ``(..., num_classes)``."""
+    classes = ops.iota(num_classes)
+    expanded = ops.expand_dims(labels, axis=len(ops.shape_of(labels)))
+    return ops.convert(ops.equal(expanded, classes), dtype)
+
+
+def label_smoothing(onehot: ArrayLike, alpha: float, num_classes: int) -> ArrayLike:
+    """Smooth one-hot targets: ``(1 - a) * y + a / K`` (Figure 3, line 3)."""
+    return ops.add(ops.mul(1.0 - alpha, onehot), alpha / num_classes)
+
+
+def softmax_cross_entropy(logits: ArrayLike, targets: ArrayLike) -> ArrayLike:
+    """Cross entropy between ``logits (..., K)`` and dense ``targets
+    (..., K)`` (one-hot or smoothed). Returns per-example loss ``(...)``."""
+    return ops.neg(ops.reduce_sum(ops.mul(targets, log_softmax(logits)), axes=-1))
+
+
+def layer_norm(x: ArrayLike, gamma: ArrayLike, beta: ArrayLike, eps: float = 1e-5) -> ArrayLike:
+    """Layer normalisation over the last axis."""
+    mu = ops.mean(x, axes=-1, keepdims=True)
+    xc = ops.sub(x, mu)
+    var = ops.mean(ops.mul(xc, xc), axes=-1, keepdims=True)
+    inv = ops.rsqrt(ops.add(var, eps))
+    return ops.add(ops.mul(ops.mul(xc, inv), gamma), beta)
+
+
+def rms_norm(x: ArrayLike, gamma: ArrayLike, eps: float = 1e-6) -> ArrayLike:
+    """RMS normalisation over the last axis (Llama-style)."""
+    ms = ops.mean(ops.mul(x, x), axes=-1, keepdims=True)
+    return ops.mul(ops.mul(x, ops.rsqrt(ops.add(ms, eps))), gamma)
+
+
+def linear(x: ArrayLike, w: ArrayLike, b: ArrayLike | None = None) -> ArrayLike:
+    """Affine map ``x @ w (+ b)``."""
+    out = ops.matmul(x, w)
+    if b is not None:
+        out = ops.add(out, b)
+    return out
+
+
+def causal_mask(seq_len: int) -> ArrayLike:
+    """Additive causal attention mask: 0 on/below the diagonal, -1e9 above."""
+    rows = ops.expand_dims(ops.iota(seq_len), 1)
+    cols = ops.expand_dims(ops.iota(seq_len), 0)
+    allowed = ops.greater_equal(rows, cols)
+    return ops.where(allowed, ops.zeros(()), ops.full((), -1e9))

@@ -1,0 +1,66 @@
+"""The ``pipeline_yield`` stage-marking primitive (§3.2 of the paper).
+
+``pipeline_yield`` is semantically the identity: models remain runnable on
+a single device with no code changes (the paper's key usability claim).
+Under a trace it records a marker equation carrying a stage-boundary
+``index``; reverse-mode AD emits a mirrored ``direction="bwd"`` marker for
+the cotangent, which is how the backward stages of Figure 3 (``b2``, ``b1``
+and the fused ``f3b3``) arise without user intervention.
+
+Stage indices are assigned per *call* in trace order, so yielding a pytree
+keeps all of its leaves on the same boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TypeVar
+
+from repro.ir.primitives import Primitive
+from repro.ir.pytree import tree_map
+from repro.ir.tracer import current_trace
+
+__all__ = ["pipeline_yield", "pipeline_yield_p", "FWD", "BWD"]
+
+FWD = "fwd"
+BWD = "bwd"
+
+pipeline_yield_p = Primitive("pipeline_yield")
+
+
+@pipeline_yield_p.def_impl
+def _yield_impl(x, *, index: int, direction: str):
+    return x
+
+
+@pipeline_yield_p.def_abstract
+def _yield_abs(xa, *, index: int, direction: str):
+    return xa
+
+
+@pipeline_yield_p.def_vjp
+def _yield_vjp(cts, invals, outvals, *, index: int, direction: str):
+    if direction != FWD:
+        raise ValueError("differentiating an already-backward pipeline_yield")
+    return [pipeline_yield_p.bind(cts[0], index=index, direction=BWD)]
+
+
+T = TypeVar("T")
+
+
+def pipeline_yield(x: T) -> T:
+    """Mark the end of the current pipeline stage (identity on values).
+
+    Computation that ``x`` depends on belongs to the current stage; any
+    computation depending on the result belongs to the next stage. May be
+    called multiple times; may yield a pytree (all leaves share one
+    boundary). Outside a trace this is a no-op, so annotated models still
+    run unmodified on one device.
+    """
+    trace = current_trace()
+    if trace is None:
+        return x
+    index = trace.yield_count
+    trace.yield_count += 1
+    return tree_map(
+        lambda leaf: pipeline_yield_p.bind(leaf, index=index, direction=FWD), x
+    )

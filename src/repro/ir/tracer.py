@@ -1,0 +1,244 @@
+"""Tracing machinery: turns Python functions into :class:`~repro.ir.jaxpr.Jaxpr`.
+
+Design notes
+------------
+- A global trace stack holds at most a handful of nested traces. ``bind``
+  routes each primitive application to the innermost trace, or evaluates it
+  eagerly with NumPy when no trace is active. Eager mode makes unit tests
+  and VJP rules trivially debuggable (the scikit-learn performance guide's
+  "keep a gold-standard Python version" advice).
+- **Free-variable lifting**: when an inner trace (e.g. the body of
+  ``accumulate_grads``) encounters a tracer that belongs to an *outer*
+  trace — the closure over ``state.params`` in Figure 4 of the paper — the
+  value is lifted to an extra input of the inner jaxpr. The caller receives
+  the list of outer values aligned with those appended inputs, which is how
+  the pipeline-loop equation captures the weights it uses.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.ir import dtypes
+from repro.ir.avals import ShapedArray, abstractify
+from repro.ir.jaxpr import Eqn, Jaxpr, Literal, Var
+from repro.ir.primitives import Primitive
+
+__all__ = ["TracerArray", "Trace", "bind", "new_trace", "trace_flat", "current_trace"]
+
+
+class TracerArray:
+    """A symbolic array flowing through a trace.
+
+    Operator overloads are installed by :mod:`repro.ir.ops` at import time
+    (to avoid a circular import); every overload simply calls the
+    corresponding user-level op, which routes back through :func:`bind`.
+    """
+
+    # Make NumPy defer to our reflected operators instead of looping over
+    # array elements when e.g. ``np_array @ tracer`` is evaluated.
+    __array_ufunc__ = None
+    __array_priority__ = 1000
+
+    __slots__ = ("trace", "var")
+
+    def __init__(self, trace: "Trace", var: Var):
+        self.trace = trace
+        self.var = var
+
+    @property
+    def aval(self) -> ShapedArray:
+        """Abstract value (shape + dtype) of this tracer."""
+        return self.var.aval
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Static shape."""
+        return self.var.aval.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.var.aval.ndim
+
+    @property
+    def dtype(self) -> dtypes.DType:
+        """Logical dtype."""
+        return self.var.aval.dtype
+
+    def __len__(self) -> int:
+        if not self.shape:
+            raise TypeError("len() of a 0-d tracer")
+        return self.shape[0]
+
+    def __repr__(self) -> str:
+        return f"Tracer<{self.var!r}>"
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "The truth value of a traced array is unknown at trace time. "
+            "Use ir.ops.where instead of Python control flow on traced values."
+        )
+
+    def __iter__(self):
+        raise TypeError("iteration over a traced array is not supported")
+
+
+class Trace:
+    """One level of tracing: an equation recorder.
+
+    Attributes:
+        eqns: recorded equations in order.
+        yield_count: running counter assigning indices to
+            ``pipeline_yield`` calls (see :mod:`repro.ir.pipeline`).
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.eqns: list[Eqn] = []
+        self.invars: list[Var] = []
+        # id(outer tracer or ndarray) -> (Var, outer value), for closure lifting.
+        self._free: dict[int, tuple[Var, Any]] = {}
+        self.yield_count = 0
+
+    # -- argument and free-variable handling ---------------------------------
+    def new_arg(self, aval: ShapedArray) -> TracerArray:
+        """Declare a fresh input of this trace."""
+        v = Var(aval)
+        self.invars.append(v)
+        return TracerArray(self, v)
+
+    def lift_free(self, value: Any) -> Var:
+        """Import a value from outside this trace (an outer trace's tracer)
+        as a free variable, deduplicated by identity."""
+        key = id(value)
+        hit = self._free.get(key)
+        if hit is not None:
+            return hit[0]
+        v = Var(abstractify(value))
+        self._free[key] = (v, value)
+        return v
+
+    @property
+    def free_vars(self) -> list[Var]:
+        """Lifted free variables, in first-use order."""
+        return [v for v, _ in self._free.values()]
+
+    @property
+    def free_values(self) -> list[Any]:
+        """Outer values corresponding to :attr:`free_vars`."""
+        return [val for _, val in self._free.values()]
+
+    # -- equation recording ---------------------------------------------------
+    def process(self, prim: Primitive, args: Sequence[Any], params: dict[str, Any]) -> Any:
+        """Record one application of ``prim`` and return output tracer(s)."""
+        in_atoms = []
+        for a in args:
+            if isinstance(a, TracerArray):
+                if a.trace is self:
+                    in_atoms.append(a.var)
+                else:
+                    in_atoms.append(self.lift_free(a))
+            else:
+                in_atoms.append(_literal(a))
+        out_avals = prim.abstract_eval(*[a.aval for a in in_atoms], **params)
+        if prim.multiple_results:
+            out_vars = [Var(av) for av in out_avals]
+        else:
+            out_vars = [Var(out_avals)]
+        self.eqns.append(Eqn(prim, in_atoms, out_vars, dict(params)))
+        outs = [TracerArray(self, v) for v in out_vars]
+        return outs if prim.multiple_results else outs[0]
+
+
+_TRACE_STACK: list[Trace] = []
+
+
+def current_trace() -> Trace | None:
+    """The innermost active trace, or ``None`` in eager mode."""
+    return _TRACE_STACK[-1] if _TRACE_STACK else None
+
+
+@contextlib.contextmanager
+def new_trace(name: str = "") -> Iterator[Trace]:
+    """Push a fresh trace for the duration of the context."""
+    t = Trace(name)
+    _TRACE_STACK.append(t)
+    try:
+        yield t
+    finally:
+        popped = _TRACE_STACK.pop()
+        assert popped is t, "trace stack corrupted"
+
+
+def _literal(value: Any) -> Literal:
+    arr = np.asarray(value)
+    aval = abstractify(arr)
+    return Literal(np.asarray(arr, dtype=aval.dtype.np_dtype), aval)
+
+
+def _concretize(value: Any) -> np.ndarray:
+    if isinstance(value, TracerArray):
+        raise TypeError(
+            f"tracer {value!r} leaked into eager evaluation; it belongs to a "
+            "trace that is no longer active"
+        )
+    arr = np.asarray(value)
+    aval = abstractify(arr)
+    return np.asarray(arr, dtype=aval.dtype.np_dtype)
+
+
+def bind(prim: Primitive, *args: Any, **params: Any) -> Any:
+    """Apply ``prim``: route to the innermost trace, or evaluate eagerly.
+
+    A tracer belonging to *any* active trace forces tracing into the
+    innermost trace (outer tracers are lifted as free variables). Plain
+    arrays with no active trace evaluate immediately.
+    """
+    trace = current_trace()
+    if trace is None or not _involves_tracing(args, trace):
+        concrete = [_concretize(a) for a in args]
+        # Run the abstract rule in eager mode too, so shape/dtype errors are
+        # identical whether code runs eagerly or traced.
+        prim.abstract_eval(*[abstractify(a) for a in concrete], **params)
+        return prim.impl(*concrete, **params)
+    return trace.process(prim, args, params)
+
+
+def _involves_tracing(args: Sequence[Any], trace: Trace) -> bool:
+    # Inside an active trace everything is traced: even constant-only ops
+    # become equations so that placement inference sees them (§3.3 places
+    # "computation preceding the pipeline loop", which includes
+    # constant-folded label smoothing in Figure 3 of the paper).
+    return True
+
+
+def trace_flat(
+    f_flat: Callable[..., Sequence[Any]],
+    in_avals: Sequence[ShapedArray],
+    name: str = "",
+) -> tuple[Jaxpr, list[Any]]:
+    """Trace ``f_flat`` (flat list of arrays in, flat list out) to a Jaxpr.
+
+    Returns ``(jaxpr, free_values)``. The jaxpr's invars are the declared
+    arguments followed by any lifted free variables; ``free_values`` are the
+    outer values (tracers of an enclosing trace, or arrays) to be supplied
+    for those extra invars when the jaxpr is invoked.
+    """
+    with new_trace(name) as trace:
+        args = [trace.new_arg(av) for av in in_avals]
+        outs = f_flat(*args)
+        out_atoms: list[Any] = []
+        for o in outs:
+            if isinstance(o, TracerArray):
+                if o.trace is not trace:
+                    out_atoms.append(trace.lift_free(o))
+                else:
+                    out_atoms.append(o.var)
+            else:
+                out_atoms.append(_literal(o))
+        jaxpr = Jaxpr(list(trace.invars) + trace.free_vars, trace.eqns, out_atoms)
+        return jaxpr, trace.free_values

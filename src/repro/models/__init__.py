@@ -1,0 +1,30 @@
+"""Example models written against the public API: the paper's FFN
+(Figures 1 & 4) and a mini-GPT with named-axis sharding, pipeline stage
+marks, and optional tied embeddings."""
+
+from repro.models.checkpoint import load_checkpoint, save_checkpoint
+from repro.models.mlp import ffn, init_mlp, mlp_forward, mlp_loss
+from repro.models.training import (
+    TrainState,
+    adam_apply,
+    adam_init,
+    constant_lr,
+    sgd_apply,
+    sgd_init,
+    warmup_cosine_lr,
+)
+from repro.models.transformer import (
+    TransformerConfig,
+    init_transformer,
+    transformer_forward,
+    transformer_loss,
+)
+
+__all__ = [
+    "save_checkpoint", "load_checkpoint",
+    "ffn", "init_mlp", "mlp_forward", "mlp_loss",
+    "TrainState", "sgd_init", "sgd_apply", "adam_init", "adam_apply",
+    "constant_lr", "warmup_cosine_lr",
+    "TransformerConfig", "init_transformer", "transformer_forward",
+    "transformer_loss",
+]

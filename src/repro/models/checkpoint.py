@@ -1,0 +1,81 @@
+"""Checkpointing: save/restore train state as ``.npz`` archives.
+
+Long-running training jobs — the workload JaxPP targets (§6: "JaxPP
+focuses on long-running training jobs") — need restartable state. Pytrees
+are flattened to named arrays with a structure manifest so any
+:class:`~repro.models.training.TrainState` (or arbitrary pytree of arrays)
+round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+import numpy as np
+
+from repro.ir.pytree import TreeDef, tree_flatten, tree_unflatten
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_KINDS = {"leaf", "none", "list", "tuple", "dict", "namedtuple", "dataclass"}
+
+
+def _treedef_to_json(td: TreeDef) -> dict:
+    meta: Any
+    if td.kind == "dict":
+        meta = list(td.meta)
+    elif td.kind == "namedtuple":
+        meta = {"module": td.meta.__module__, "name": td.meta.__qualname__}
+    elif td.kind == "dataclass":
+        cls, fields = td.meta
+        meta = {"module": cls.__module__, "name": cls.__qualname__, "fields": list(fields)}
+    else:
+        meta = None
+    return {"kind": td.kind, "meta": meta, "children": [_treedef_to_json(c) for c in td.children]}
+
+
+def _resolve(module: str, qualname: str):
+    import importlib
+
+    obj = importlib.import_module(module)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def _treedef_from_json(d: dict) -> TreeDef:
+    kind = d["kind"]
+    if kind not in _KINDS:
+        raise ValueError(f"corrupt checkpoint: unknown node kind {kind!r}")
+    children = tuple(_treedef_from_json(c) for c in d["children"])
+    meta: Any = None
+    if kind == "dict":
+        meta = tuple(d["meta"])
+    elif kind == "namedtuple":
+        meta = _resolve(d["meta"]["module"], d["meta"]["name"])
+    elif kind == "dataclass":
+        meta = (_resolve(d["meta"]["module"], d["meta"]["name"]), tuple(d["meta"]["fields"]))
+    return TreeDef(kind, meta, children)
+
+
+def save_checkpoint(path: str | pathlib.Path, state: Any) -> None:
+    """Write a pytree of arrays/scalars to ``path`` (``.npz``)."""
+    leaves, treedef = tree_flatten(state)
+    arrays = {f"leaf_{i}": np.asarray(v) for i, v in enumerate(leaves)}
+    arrays["__structure__"] = np.frombuffer(
+        json.dumps(_treedef_to_json(treedef)).encode(), dtype=np.uint8
+    )
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(path: str | pathlib.Path) -> Any:
+    """Rebuild the pytree written by :func:`save_checkpoint`."""
+    with np.load(path, allow_pickle=False) as data:
+        structure = json.loads(bytes(data["__structure__"].tobytes()).decode())
+        treedef = _treedef_from_json(structure)
+        leaves = [data[f"leaf_{i}"] for i in range(treedef.num_leaves)]
+        # 0-d arrays come back as arrays; preserve them as numpy scalars
+        leaves = [v[()] if v.ndim == 0 else v for v in leaves]
+    return tree_unflatten(treedef, leaves)

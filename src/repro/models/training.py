@@ -1,0 +1,139 @@
+"""Train state, optimizers, and learning-rate schedules.
+
+All update math is written with :mod:`repro.ir.ops` over pytrees, so the
+optimizer runs *inside* the traced ``train_step`` and is placed by the
+compiler's post-loop placement inference (§3.3) — each parameter's update
+chain lands on the actor that owns its gradient accumulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.ir import dtypes, ops, tree_map
+
+__all__ = [
+    "TrainState",
+    "sgd_init",
+    "sgd_apply",
+    "adam_init",
+    "adam_apply",
+    "constant_lr",
+    "warmup_cosine_lr",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainState:
+    """Parameters plus optimizer state plus step counter (a pytree)."""
+
+    params: Any
+    opt_state: Any
+    step: Any  # scalar int32
+
+
+def constant_lr(lr: float) -> Callable[[Any], Any]:
+    """Constant learning-rate schedule."""
+
+    def schedule(step: Any) -> Any:
+        del step
+        return np.float32(lr)
+
+    return schedule
+
+
+def warmup_cosine_lr(
+    peak: float, warmup_steps: int, total_steps: int, floor: float = 0.0
+) -> Callable[[Any], Any]:
+    """Linear warmup then cosine decay — the LLM-training standard.
+
+    Written with traceable ops so it runs inside the compiled step (the
+    replicated "lr_scheduler(state.step)" computation of Figure 4).
+    """
+
+    def schedule(step: Any) -> Any:
+        s = ops.convert(step, dtypes.float32)
+        warm = ops.mul(peak / max(warmup_steps, 1), s)
+        progress = ops.div(
+            ops.sub(s, float(warmup_steps)), float(max(total_steps - warmup_steps, 1))
+        )
+        progress = ops.minimum(ops.maximum(progress, 0.0), 1.0)
+        cos = ops.mul(0.5, ops.add(1.0, ops.cos(ops.mul(np.pi, progress))))
+        decay = ops.add(floor, ops.mul(peak - floor, cos))
+        return ops.where(ops.less(s, float(warmup_steps)), warm, decay)
+
+    return schedule
+
+
+# ---------------------------------------------------------------------------
+# SGD (with optional momentum)
+# ---------------------------------------------------------------------------
+
+def sgd_init(params: Any, momentum: float = 0.0) -> Any:
+    """Optimizer state for SGD: momentum buffers (or ``None``)."""
+    if momentum == 0.0:
+        return None
+    return tree_map(lambda p: np.zeros_like(p), params)
+
+
+def sgd_apply(
+    state: TrainState, grads: Any, lr: Any, momentum: float = 0.0
+) -> TrainState:
+    """One SGD step; returns the updated :class:`TrainState`."""
+    if momentum == 0.0:
+        new_params = tree_map(lambda p, g: ops.sub(p, ops.mul(lr, g)), state.params, grads)
+        new_opt = state.opt_state
+    else:
+        new_opt = tree_map(
+            lambda m, g: ops.add(ops.mul(momentum, m), g), state.opt_state, grads
+        )
+        new_params = tree_map(
+            lambda p, m: ops.sub(p, ops.mul(lr, m)), state.params, new_opt
+        )
+    return TrainState(new_params, new_opt, ops.add(state.step, 1))
+
+
+# ---------------------------------------------------------------------------
+# Adam
+# ---------------------------------------------------------------------------
+
+def adam_init(params: Any) -> Any:
+    """Adam first/second-moment buffers."""
+    return {
+        "m": tree_map(lambda p: np.zeros_like(p), params),
+        "v": tree_map(lambda p: np.zeros_like(p), params),
+    }
+
+
+def adam_apply(
+    state: TrainState,
+    grads: Any,
+    lr: Any,
+    b1: float = 0.9,
+    b2: float = 0.999,
+    eps: float = 1e-8,
+) -> TrainState:
+    """One Adam step with bias correction."""
+    step1 = ops.add(state.step, 1)
+    t = ops.convert(step1, dtypes.float32)
+    m = tree_map(
+        lambda m, g: ops.add(ops.mul(b1, m), ops.mul(1 - b1, g)),
+        state.opt_state["m"], grads,
+    )
+    v = tree_map(
+        lambda v, g: ops.add(ops.mul(b2, v), ops.mul(1 - b2, ops.mul(g, g))),
+        state.opt_state["v"], grads,
+    )
+    c1 = ops.sub(1.0, ops.pow(np.float32(b1), t))
+    c2 = ops.sub(1.0, ops.pow(np.float32(b2), t))
+    new_params = tree_map(
+        lambda p, m_, v_: ops.sub(
+            p,
+            ops.mul(lr, ops.div(ops.div(m_, c1), ops.add(ops.sqrt(ops.div(v_, c2)), eps))),
+        ),
+        state.params, m, v,
+    )
+    return TrainState(new_params, {"m": m, "v": v}, step1)

@@ -1,0 +1,147 @@
+"""A GPT-style decoder-only transformer written against the public API.
+
+This is the numeric-mode stand-in for the paper's GPT-3/Llama2 workloads:
+the same structure (embeddings, pre-norm blocks with causal attention and
+an MLP, optional tied output embedding), annotated with logical axis names
+for GSPMD sharding (``batch``/``heads``/``mlp`` map onto ``data``/``model``
+mesh axes) and ``pipeline_yield`` boundaries every ``layers_per_stage``
+blocks. Tied embeddings exercise the loop-commuting pass exactly like the
+paper's §3.4 tied-embedding example.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.ir import nn, ops, pipeline_yield
+from repro.spmd import shard
+
+__all__ = ["TransformerConfig", "init_transformer", "transformer_forward", "transformer_loss"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TransformerConfig:
+    """Mini-GPT hyperparameters.
+
+    ``n_stages`` controls how many pipeline stages the forward pass is cut
+    into (``n_layers`` must divide evenly). ``tie_embeddings`` reuses the
+    token-embedding table for the output projection (GPT-2 style), putting
+    one weight on both the first and last pipeline stage.
+    """
+
+    vocab: int = 64
+    seq: int = 16
+    d_model: int = 32
+    n_heads: int = 4
+    d_ff: int = 64
+    n_layers: int = 4
+    n_stages: int = 2
+    tie_embeddings: bool = False
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension."""
+        return self.d_model // self.n_heads
+
+    @property
+    def layers_per_stage(self) -> int:
+        """Transformer blocks per pipeline stage."""
+        if self.n_layers % self.n_stages != 0:
+            raise ValueError(
+                f"{self.n_layers} layers do not divide into {self.n_stages} stages"
+            )
+        return self.n_layers // self.n_stages
+
+
+def init_transformer(rng: np.random.RandomState, cfg: TransformerConfig) -> dict:
+    """Initialise parameters (GPT-2-style scaled normal init)."""
+    if cfg.d_model % cfg.n_heads != 0:
+        raise ValueError("d_model must divide n_heads")
+    s = 0.02
+    p: dict[str, Any] = {
+        "wte": (rng.randn(cfg.vocab, cfg.d_model) * s).astype(np.float32),
+        "wpe": (rng.randn(cfg.seq, cfg.d_model) * s).astype(np.float32),
+        "ln_f.g": np.ones(cfg.d_model, np.float32),
+        "ln_f.b": np.zeros(cfg.d_model, np.float32),
+    }
+    if not cfg.tie_embeddings:
+        p["w_out"] = (rng.randn(cfg.d_model, cfg.vocab) * s).astype(np.float32)
+    res = s / math.sqrt(2 * cfg.n_layers)
+    for i in range(cfg.n_layers):
+        p[f"h{i}.ln1.g"] = np.ones(cfg.d_model, np.float32)
+        p[f"h{i}.ln1.b"] = np.zeros(cfg.d_model, np.float32)
+        p[f"h{i}.attn.wqkv"] = (rng.randn(cfg.d_model, 3 * cfg.d_model) * s).astype(np.float32)
+        p[f"h{i}.attn.wo"] = (rng.randn(cfg.d_model, cfg.d_model) * res).astype(np.float32)
+        p[f"h{i}.ln2.g"] = np.ones(cfg.d_model, np.float32)
+        p[f"h{i}.ln2.b"] = np.zeros(cfg.d_model, np.float32)
+        p[f"h{i}.mlp.wi"] = (rng.randn(cfg.d_model, cfg.d_ff) * s).astype(np.float32)
+        p[f"h{i}.mlp.wo"] = (rng.randn(cfg.d_ff, cfg.d_model) * res).astype(np.float32)
+    return p
+
+
+def _attention(p: dict, i: int, h: Any, cfg: TransformerConfig) -> Any:
+    """Causal multi-head self-attention with Megatron-style head sharding."""
+    B, S, D = ops.shape_of(h)
+    nh, hd = cfg.n_heads, cfg.head_dim
+    qkv = ops.matmul(h, p[f"h{i}.attn.wqkv"])  # (B, S, 3D)
+    qkv = shard(qkv, ("batch", None, "heads_x3"))
+    q = ops.slice_(qkv, (0, 0, 0), (B, S, D))
+    k = ops.slice_(qkv, (0, 0, D), (B, S, 2 * D))
+    v = ops.slice_(qkv, (0, 0, 2 * D), (B, S, 3 * D))
+
+    def split_heads(x):
+        x = ops.reshape(x, (B, S, nh, hd))
+        return ops.transpose(x, (0, 2, 1, 3))  # (B, nh, S, hd)
+
+    q, k, v = split_heads(q), split_heads(k), split_heads(v)
+    q = shard(q, ("batch", "heads", None, None))
+    scores = ops.mul(ops.matmul(q, ops.swap_last2(k)), 1.0 / math.sqrt(hd))
+    scores = ops.add(scores, nn.causal_mask(S))
+    attn = nn.softmax(scores, axis=-1)
+    ctx = ops.matmul(attn, v)  # (B, nh, S, hd)
+    ctx = ops.transpose(ctx, (0, 2, 1, 3))
+    ctx = ops.reshape(ctx, (B, S, D))
+    out = ops.matmul(ctx, p[f"h{i}.attn.wo"])
+    return shard(out, ("batch", None, "emb"))
+
+
+def _block(p: dict, i: int, h: Any, cfg: TransformerConfig) -> Any:
+    """Pre-norm transformer block."""
+    a = _attention(p, i, nn.layer_norm(h, p[f"h{i}.ln1.g"], p[f"h{i}.ln1.b"]), cfg)
+    h = ops.add(h, a)
+    m = nn.layer_norm(h, p[f"h{i}.ln2.g"], p[f"h{i}.ln2.b"])
+    m = nn.gelu(ops.matmul(m, p[f"h{i}.mlp.wi"]))
+    m = shard(m, ("batch", None, "mlp"))
+    m = ops.matmul(m, p[f"h{i}.mlp.wo"])
+    return ops.add(h, m)
+
+
+def transformer_forward(p: dict, tokens: Any, cfg: TransformerConfig) -> Any:
+    """Token ids ``(B, S)`` -> logits ``(B, S, vocab)``.
+
+    Inserts a ``pipeline_yield`` after every ``layers_per_stage`` blocks
+    (except the last); the final stage adds the output norm and projection.
+    """
+    h = ops.add(ops.take(p["wte"], tokens), ops.take(p["wpe"], ops.iota(cfg.seq)))
+    h = shard(h, ("batch", None, "emb"))
+    per = cfg.layers_per_stage
+    for i in range(cfg.n_layers):
+        h = _block(p, i, h, cfg)
+        if (i + 1) % per == 0 and i + 1 < cfg.n_layers:
+            h = pipeline_yield(h)
+    h = nn.layer_norm(h, p["ln_f.g"], p["ln_f.b"])
+    w_out = ops.transpose(p["wte"]) if cfg.tie_embeddings else p["w_out"]
+    return ops.matmul(h, w_out)
+
+
+def transformer_loss(p: dict, mb: tuple, cfg: TransformerConfig) -> Any:
+    """Mean next-token cross-entropy over one microbatch ``(tokens,
+    targets)`` of int32 arrays shaped ``(mbsz, seq)``."""
+    tokens, targets = mb
+    logits = transformer_forward(p, tokens, cfg)
+    onehot = nn.one_hot(targets, cfg.vocab)
+    return ops.mean(nn.softmax_cross_entropy(logits, onehot))

@@ -1,0 +1,28 @@
+"""Analytic performance model + discrete-event pipeline simulator.
+
+Regenerates the paper's evaluation (Figures 6-10, Table 1) on the
+published DGX-H100/EOS hardware constants. Correctness-scale execution is
+in :mod:`repro.core`/:mod:`repro.runtime`; this package prices the same
+schedules at 175B scale.
+"""
+
+from repro.perf.frameworks import FrameworkResult, jax_fsdp, jax_spmd_pp, jaxpp, nemo
+from repro.perf.kernels import JAX_KERNELS, NEMO_KERNELS, KernelModel
+from repro.perf.memory import RematDecision, decide_remat
+from repro.perf.pipeline_sim import PipelineSimConfig, SimResult, simulate_pipeline
+from repro.perf.transformer import (
+    GPT3_175B,
+    LLAMA2_70B,
+    ModelSpec,
+    model_flops_per_step,
+    tflops_per_device,
+)
+
+__all__ = [
+    "GPT3_175B", "LLAMA2_70B", "ModelSpec",
+    "model_flops_per_step", "tflops_per_device",
+    "KernelModel", "JAX_KERNELS", "NEMO_KERNELS",
+    "RematDecision", "decide_remat",
+    "PipelineSimConfig", "SimResult", "simulate_pipeline",
+    "FrameworkResult", "jaxpp", "jax_spmd_pp", "jax_fsdp", "nemo",
+]

@@ -1,0 +1,97 @@
+"""Communication time models on a topology.
+
+Ring-based collective costs (the NCCL defaults at these scales) plus
+point-to-point transfers, with the intra-node (NVLink) / inter-node
+(InfiniBand) distinction the paper's actor placement is designed around.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.specs import NodeSpec
+from repro.perf.transformer import ModelSpec
+
+__all__ = [
+    "ring_allreduce_time",
+    "ring_allgather_time",
+    "tp_allreduce_per_layer",
+    "stage_p2p_time",
+    "dp_gradient_allreduce",
+]
+
+
+def ring_allreduce_time(nbytes: float, n: int, bw: float, latency: float) -> float:
+    """Ring all-reduce: ``2*(n-1)/n`` of the buffer over the slowest link,
+    plus ``2*(n-1)`` latency hops."""
+    if n <= 1:
+        return 0.0
+    return 2 * (n - 1) / n * nbytes / bw + 2 * (n - 1) * latency
+
+
+def ring_allgather_time(nbytes_total: float, n: int, bw: float, latency: float) -> float:
+    """Ring all-gather of a buffer whose *gathered* size is
+    ``nbytes_total``."""
+    if n <= 1:
+        return 0.0
+    return (n - 1) / n * nbytes_total / bw + (n - 1) * latency
+
+
+#: fraction of tensor-parallel collective time exposed on the critical
+#: path (the rest hides under dependent GEMMs via async launches)
+TP_EXPOSED_FRACTION = 0.5
+
+
+def tp_allreduce_per_layer(
+    model: ModelSpec, node: NodeSpec, mbs: int, tp: int, direction: str, latency_s: float
+) -> float:
+    """Exposed tensor-parallel communication for one transformer block.
+
+    Sequence-parallel accounting (what both Megatron and XLA's partitioner
+    produce at these shapes): two reduce-scatter/all-gather pairs per
+    direction, each moving ``(tp-1)/tp`` of the activation tensor one way
+    over NVLink, partially overlapped with the adjacent GEMMs.
+    """
+    if tp <= 1:
+        return 0.0
+    nbytes = 2.0 * mbs * model.seq * model.hidden  # bf16 activations
+    one_way = (tp - 1) / tp * nbytes / node.gpu.nvlink_bw + (tp - 1) * node.nvlink_latency
+    per = one_way + latency_s  # one collective (rs or ag) + launch cost
+    return 2.0 * 2.0 * per * TP_EXPOSED_FRACTION  # 2 pairs per direction
+
+
+def stage_p2p_time(model: ModelSpec, node: NodeSpec, mbs: int, tp: int, cross_node: bool) -> float:
+    """One pipeline-boundary transfer (hidden states for one microbatch).
+
+    The tensor is sharded over TP; each GPU ships its shard on its own
+    IB rail (cross-node) or NVLink (same node), so the per-GPU share
+    governs the time.
+    """
+    nbytes = model.boundary_bytes(mbs) / tp
+    if cross_node:
+        return node.ib_latency + nbytes / node.ib_bw_per_gpu
+    return node.nvlink_latency + nbytes / node.gpu.nvlink_bw
+
+
+def dp_gradient_allreduce(
+    model: ModelSpec,
+    node: NodeSpec,
+    pp: int,
+    tp: int,
+    dp: int,
+    fp32_reduce: bool = False,
+    congestion_per_doubling: float = 0.50,
+) -> float:
+    """End-of-step data-parallel gradient synchronisation.
+
+    Each GPU owns ``params/(pp*tp)`` gradient elements, reduced across the
+    ``dp`` replicas over InfiniBand. ``congestion_per_doubling`` models the
+    mild fabric-contention growth observed at EOS scale (the 1024-GPU knee
+    of Table 1 / Figure 8).
+    """
+    if dp <= 1:
+        return 0.0
+    bytes_per_gpu = model.total_params / (pp * tp) * (4.0 if fp32_reduce else 2.0)
+    base = ring_allreduce_time(bytes_per_gpu, dp, node.ib_bw_per_gpu, node.ib_latency)
+    import math
+
+    congestion = 1.0 + congestion_per_doubling * math.log2(dp)
+    return base * congestion

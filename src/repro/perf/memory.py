@@ -1,0 +1,103 @@
+"""Device-memory model and the rematerialisation decision (§5.3).
+
+The step-time gap between GPipe-style SPMD pipelining and JaxPP's
+Interleaved 1F1B is mostly a *memory* story: GPipe keeps one activation
+set per **microbatch** in flight, 1F1B one per **stage** — so at large
+gradient-accumulation counts GPipe must rematerialise (recompute the
+forward during the backward), costing ≈20% of the step (§5.3, Fig. 10).
+This module decides, for a given configuration, whether activations fit
+and what remat policy a framework would have to run with.
+
+Accounting (BF16 training, Adam):
+
+- weights+optimizer: 16 bytes/param/GPU-shard (2 bf16 weight + 2 bf16 grad
+  + 4 fp32 master + 8 fp32 Adam moments), divided over ``pp*tp`` (and over
+  the FSDP group for FSDP);
+- activations: flash-attention execution (the paper uses cuDNN attention)
+  never materialises the s x s matrix, leaving ~24 bytes/token/hidden per
+  block; full rematerialisation stores only the 2-byte block input.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cluster.specs import GpuSpec
+from repro.perf.transformer import ModelSpec
+
+__all__ = ["RematDecision", "weights_optimizer_bytes", "activation_bytes_per_block", "decide_remat"]
+
+BYTES_PER_PARAM = 16.0  # 2 bf16 weight + 2 bf16 grad + 12 fp32 master/Adam
+WEIGHT_GRAD_BYTES = 4.0  # the unshardable part (bf16 weight + grad)
+OPTIMIZER_BYTES = 12.0  # fp32 master + Adam moments (ZeRO-1-shardable)
+ACT_COEFF_FLASH = 16.0  # bytes/token/hidden/block (flash attn, no dropout)
+ACT_COEFF_FULL_REMAT = 2.0  # only the block input survives
+HBM_USABLE_FRACTION = 0.92  # NCCL buffers, workspace, fragmentation
+
+
+@dataclasses.dataclass(frozen=True)
+class RematDecision:
+    """Outcome of the memory fit.
+
+    Attributes:
+        kind: ``"none"`` or ``"full"``.
+        extra_fwd_fraction: additional forward compute per backward pass
+            (1.0 = recompute the whole forward).
+        weight_bytes / activation_bytes: the accounting behind the call.
+        fits: whether the chosen policy fits in HBM at all.
+    """
+
+    kind: str
+    extra_fwd_fraction: float
+    weight_bytes: float
+    activation_bytes: float
+    fits: bool
+
+
+def weights_optimizer_bytes(
+    model: ModelSpec, pp: int, tp: int, opt_shard: int = 1, shard_extra: int = 1
+) -> float:
+    """Per-GPU bytes for weights + gradients + optimizer state.
+
+    ``opt_shard`` shards the fp32 master/Adam state across data-parallel
+    replicas (Megatron's distributed optimizer / ZeRO-1); ``shard_extra``
+    divides *everything* further (full FSDP/ZeRO-3 groups).
+    """
+    per_param = WEIGHT_GRAD_BYTES + OPTIMIZER_BYTES / max(opt_shard, 1)
+    return model.total_params / (pp * tp * shard_extra) * per_param
+
+
+def activation_bytes_per_block(model: ModelSpec, mbs: int, tp: int, coeff: float = ACT_COEFF_FLASH) -> float:
+    """Stored activations for one block, one microbatch, per GPU."""
+    return coeff * model.seq * mbs * model.hidden / tp
+
+
+def decide_remat(
+    model: ModelSpec,
+    gpu: GpuSpec,
+    pp: int,
+    tp: int,
+    mbs: int,
+    layers_per_device: int,
+    peak_live_microbatches: float,
+    opt_shard: int = 1,
+    shard_extra: int = 1,
+) -> RematDecision:
+    """Choose the cheapest remat policy that fits in device memory.
+
+    ``peak_live_microbatches`` comes from the *schedule* (GPipe: all of
+    them; 1F1B: at most the stage count) — see
+    :func:`repro.core.schedules.schedule_stats`.
+    """
+    budget = gpu.hbm_bytes * HBM_USABLE_FRACTION
+    w = weights_optimizer_bytes(model, pp, tp, opt_shard, shard_extra)
+
+    def act(coeff: float) -> float:
+        per_block = activation_bytes_per_block(model, mbs, tp, coeff)
+        return per_block * layers_per_device * peak_live_microbatches
+
+    a_none = act(ACT_COEFF_FLASH)
+    if w + a_none <= budget:
+        return RematDecision("none", 0.0, w, a_none, True)
+    a_full = act(ACT_COEFF_FULL_REMAT)
+    return RematDecision("full", 1.0, w, a_full, w + a_full <= budget)

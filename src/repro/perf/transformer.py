@@ -1,0 +1,156 @@
+"""Model arithmetic for the paper's workloads: GPT-3 175B and Llama2 70B.
+
+Everything downstream (kernel times, memory, TFLOPS metrics) derives from
+the op-level FLOP and byte counts here. The throughput metric matches the
+convention the paper's Table 1 numbers decode to: **model FLOPs** =
+forward + backward (no rematerialisation), including the attention
+quadratic term and the logits projection — dividing Table 1's step times
+into this quantity reproduces the printed TFLOPS/device to within 1%.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["ModelSpec", "GPT3_175B", "LLAMA2_70B", "model_flops_per_step", "tflops_per_device"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelSpec:
+    """A decoder-only transformer.
+
+    Attributes:
+        name: display name.
+        n_layers / hidden / n_heads / kv_heads: architecture.
+        ffn_hidden: MLP inner width.
+        n_ffn_matrices: 2 for GELU MLPs (GPT), 3 for SwiGLU (Llama).
+        vocab: (padded) vocabulary size.
+        seq: training sequence length.
+        tied_embeddings: output projection reuses the embedding table.
+    """
+
+    name: str
+    n_layers: int
+    hidden: int
+    n_heads: int
+    kv_heads: int
+    ffn_hidden: int
+    n_ffn_matrices: int
+    vocab: int
+    seq: int
+    tied_embeddings: bool
+
+    # -- parameter counts ------------------------------------------------------
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension."""
+        return self.hidden // self.n_heads
+
+    @property
+    def layer_params(self) -> int:
+        """Parameters in one transformer block (ignoring small norms)."""
+        h, hd = self.hidden, self.head_dim
+        attn = h * h + 2 * h * (self.kv_heads * hd) + h * h  # q, kv, out
+        mlp = self.n_ffn_matrices * h * self.ffn_hidden
+        norms = 2 * h
+        return attn + mlp + norms
+
+    @property
+    def embedding_params(self) -> int:
+        """Token embedding (+ output head when untied)."""
+        p = self.vocab * self.hidden
+        if not self.tied_embeddings:
+            p += self.vocab * self.hidden
+        return p
+
+    @property
+    def total_params(self) -> int:
+        """Total parameter count."""
+        return self.n_layers * self.layer_params + self.embedding_params + self.hidden
+
+    # -- FLOPs ------------------------------------------------------------------
+    def layer_matmul_flops(self, tokens: int) -> float:
+        """Forward FLOPs of one block's parameter matmuls (GEMM-shaped
+        work that runs near peak)."""
+        h, hd = self.hidden, self.head_dim
+        qkv = 2 * tokens * h * (h + 2 * self.kv_heads * hd)
+        out = 2 * tokens * h * h
+        mlp = 2 * tokens * h * self.ffn_hidden * self.n_ffn_matrices
+        return float(qkv + out + mlp)
+
+    def layer_attn_flops(self, tokens: int) -> float:
+        """Forward FLOPs of the attention score/context matmuls (the
+        quadratic term; fused attention kernels sustain a lower fraction
+        of peak than large GEMMs)."""
+        s, hd = self.seq, self.head_dim
+        return float(2 * 2 * tokens * s * hd * self.n_heads)
+
+    def layer_fwd_flops(self, tokens: int) -> float:
+        """Forward FLOPs of one block on ``tokens`` tokens."""
+        return self.layer_matmul_flops(tokens) + self.layer_attn_flops(tokens)
+
+    def logits_fwd_flops(self, tokens: int) -> float:
+        """Forward FLOPs of the output projection."""
+        return float(2 * tokens * self.hidden * self.vocab)
+
+    def fwd_flops(self, tokens: int) -> float:
+        """Full-model forward FLOPs on ``tokens`` tokens."""
+        return self.n_layers * self.layer_fwd_flops(tokens) + self.logits_fwd_flops(tokens)
+
+    # -- activation bytes -------------------------------------------------------
+    def layer_activation_bytes(self, mbs: int, selective_remat: bool = False) -> float:
+        """Stored-activation bytes per block per microbatch at BF16
+        (Megatron's ``sbh(34 + 5·a·s/h)`` formula; selective remat drops
+        the attention quadratic term)."""
+        s, h = self.seq, self.hidden
+        base = 34.0 * s * mbs * h
+        if not selective_remat:
+            base += 5.0 * self.n_heads * s * s * mbs
+        return base
+
+    def boundary_bytes(self, mbs: int) -> float:
+        """Bytes crossing one pipeline-stage boundary per microbatch (the
+        hidden-state tensor at BF16)."""
+        return 2.0 * mbs * self.seq * self.hidden
+
+
+# GPT-3 175B (Brown et al. 2020); vocab padded to a TP-friendly 51200 as
+# all Megatron-style trainers do.
+GPT3_175B = ModelSpec(
+    name="GPT-3 175B",
+    n_layers=96,
+    hidden=12288,
+    n_heads=96,
+    kv_heads=96,
+    ffn_hidden=4 * 12288,
+    n_ffn_matrices=2,
+    vocab=51200,
+    seq=2048,
+    tied_embeddings=True,
+)
+
+# Llama2 70B (Touvron et al. 2023): GQA with 8 KV heads, SwiGLU MLP.
+LLAMA2_70B = ModelSpec(
+    name="Llama2 70B",
+    n_layers=80,
+    hidden=8192,
+    n_heads=64,
+    kv_heads=8,
+    ffn_hidden=28672,
+    n_ffn_matrices=3,
+    vocab=32000,
+    seq=4096,
+    tied_embeddings=False,
+)
+
+
+def model_flops_per_step(model: ModelSpec, global_batch: int) -> float:
+    """Model FLOPs of one training step: forward + backward (2x forward),
+    no rematerialisation — the numerator of the paper's TFLOPS metric."""
+    tokens = global_batch * model.seq
+    return 3.0 * model.fwd_flops(tokens)
+
+
+def tflops_per_device(model: ModelSpec, global_batch: int, step_time: float, n_gpus: int) -> float:
+    """The paper's throughput metric (TFLOPS / device)."""
+    return model_flops_per_step(model, global_batch) / step_time / n_gpus / 1e12

@@ -1,0 +1,33 @@
+"""Single-controller MPMD runtime (§4): per-actor instruction streams,
+object stores, ordered P2P channels, and the deterministic dataflow
+executor that doubles as a discrete-event performance simulator."""
+
+from repro.runtime.clock import CostModel, LinearCost, ZeroCost
+from repro.runtime.executor import (
+    CommMismatchError,
+    CommMode,
+    DeadlockError,
+    ExecutionResult,
+    MpmdExecutor,
+    TimelineEvent,
+)
+from repro.runtime.instructions import (
+    Accumulate,
+    AllReduce,
+    BufferRef,
+    Delete,
+    Instruction,
+    Recv,
+    RunTask,
+    Send,
+)
+from repro.runtime.store import Buffer, ObjectStore
+
+__all__ = [
+    "CostModel", "ZeroCost", "LinearCost",
+    "MpmdExecutor", "CommMode", "DeadlockError", "CommMismatchError",
+    "ExecutionResult", "TimelineEvent",
+    "BufferRef", "Instruction", "RunTask", "Send", "Recv", "Delete",
+    "Accumulate", "AllReduce",
+    "Buffer", "ObjectStore",
+]

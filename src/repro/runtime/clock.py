@@ -1,0 +1,87 @@
+"""Cost models: pluggable virtual-time providers for the MPMD executor.
+
+The same executor runs in two modes:
+
+- **numeric mode** with :class:`ZeroCost` — instructions execute real NumPy
+  payloads, virtual time stays 0; used for all correctness tests.
+- **simulation mode** with a topology-backed cost model — instructions
+  carry costs, the executor computes the discrete-event timeline; used to
+  regenerate the paper's performance figures at DGX-H100 scale.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CostModel", "ZeroCost", "LinearCost"]
+
+
+class CostModel:
+    """Interface for instruction timing."""
+
+    def task_time(self, cost_hint: float, meta: dict) -> float:
+        """Device-busy seconds for a RunTask whose compiled cost is
+        ``cost_hint`` (already includes compute + intra-actor collectives)."""
+        raise NotImplementedError
+
+    def dispatch_overhead(self) -> float:
+        """Per-task launch overhead (the XLA asynchronous-dispatch cost of
+        §5.1.1). Charged to the device lane before every task."""
+        raise NotImplementedError
+
+    def transfer_time(self, nbytes: int, src: int, dst: int) -> float:
+        """Point-to-point transfer seconds between two actors."""
+        raise NotImplementedError
+
+    def collective_time(self, nbytes: int, group: tuple[int, ...]) -> float:
+        """Cross-actor all-reduce seconds for ``nbytes`` per participant."""
+        raise NotImplementedError
+
+
+class ZeroCost(CostModel):
+    """Everything is free; virtual time never advances."""
+
+    def task_time(self, cost_hint: float, meta: dict) -> float:
+        return 0.0
+
+    def dispatch_overhead(self) -> float:
+        return 0.0
+
+    def transfer_time(self, nbytes: int, src: int, dst: int) -> float:
+        return 0.0
+
+    def collective_time(self, nbytes: int, group: tuple[int, ...]) -> float:
+        return 0.0
+
+
+class LinearCost(CostModel):
+    """Simple affine model: useful for schedule-shape tests without the
+    full hardware model (uniform link bandwidth, fixed overheads)."""
+
+    def __init__(
+        self,
+        dispatch: float = 0.0,
+        p2p_latency: float = 0.0,
+        p2p_bandwidth: float = float("inf"),
+        allreduce_latency: float = 0.0,
+        allreduce_bandwidth: float = float("inf"),
+    ):
+        self.dispatch = dispatch
+        self.p2p_latency = p2p_latency
+        self.p2p_bandwidth = p2p_bandwidth
+        self.allreduce_latency = allreduce_latency
+        self.allreduce_bandwidth = allreduce_bandwidth
+
+    def task_time(self, cost_hint: float, meta: dict) -> float:
+        return cost_hint
+
+    def dispatch_overhead(self) -> float:
+        return self.dispatch
+
+    def transfer_time(self, nbytes: int, src: int, dst: int) -> float:
+        return self.p2p_latency + nbytes / self.p2p_bandwidth
+
+    def collective_time(self, nbytes: int, group: tuple[int, ...]) -> float:
+        if len(group) <= 1:
+            return 0.0
+        # ring all-reduce: 2 (n-1)/n * bytes / bw
+        n = len(group)
+        return self.allreduce_latency + 2 * (n - 1) / n * nbytes / self.allreduce_bandwidth

@@ -1,0 +1,427 @@
+"""Deterministic dataflow executor for per-actor instruction streams.
+
+This is the reproduction's stand-in for the paper's Ray+NCCL runtime (§4):
+each actor owns an object store and a fused instruction stream; point-to-
+point transfers use **pairwise-FIFO matching** (the k-th send from A to B
+matches the k-th recv from A posted on B — NCCL's ordering contract from
+§4.2), so a mis-ordered schedule genuinely deadlocks (Figure 5) and the
+executor reports it instead of hanging.
+
+Two communication modes:
+
+- ``CommMode.SYNC`` — send/recv block their actor until the transfer
+  completes (the "synchronous counterpart" the paper compares against, and
+  the mode in which Figure 5's naive ordering deadlocks);
+- ``CommMode.ASYNC`` — posts return immediately; consuming tasks wait for
+  data arrival, and deletions of in-flight send buffers are deferred via
+  the pending-deletions queue (§4.3). This is JaxPP's mode: transfers
+  overlap compute, visible in the virtual-time timeline.
+
+The executor advances a **virtual clock** from a pluggable
+:class:`~repro.runtime.clock.CostModel`; with ``ZeroCost`` it is a pure
+correctness interpreter, with a topology-backed model it is the discrete-
+event simulator used to regenerate the paper's figures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections import deque
+from typing import Any, Sequence
+
+from repro.runtime.clock import CostModel, ZeroCost
+from repro.runtime.instructions import (
+    Accumulate,
+    AllReduce,
+    BufferRef,
+    Delete,
+    Instruction,
+    Recv,
+    RunTask,
+    Send,
+)
+from repro.runtime.store import ObjectStore
+
+__all__ = [
+    "CommMode",
+    "DeadlockError",
+    "CommMismatchError",
+    "TimelineEvent",
+    "ExecutionResult",
+    "MpmdExecutor",
+]
+
+
+class CommMode(enum.Enum):
+    """Point-to-point communication semantics (see module docstring)."""
+
+    SYNC = "sync"
+    ASYNC = "async"
+
+
+class DeadlockError(RuntimeError):
+    """No actor can make progress and the program is not finished."""
+
+
+class CommMismatchError(RuntimeError):
+    """Matched send/recv pair disagrees on the logical value (the data
+    corruption NCCL would silently produce with mis-ordered P2P ops)."""
+
+
+@dataclasses.dataclass
+class TimelineEvent:
+    """One interval on an actor's device or communication lane."""
+
+    actor: int
+    kind: str  # "task" | "send" | "recv" | "allreduce" | "accum"
+    name: str
+    start: float
+    end: float
+    nbytes: int = 0
+    meta: dict = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class ExecutionResult:
+    """Outcome of one program execution.
+
+    Attributes:
+        makespan: virtual completion time (max over actors).
+        timeline: all recorded events (sorted by start).
+        actor_finish: per-actor completion times.
+        p2p_bytes: total bytes moved point-to-point.
+        p2p_count: number of point-to-point transfers.
+    """
+
+    makespan: float
+    timeline: list[TimelineEvent]
+    actor_finish: list[float]
+    p2p_bytes: int
+    p2p_count: int
+
+
+@dataclasses.dataclass
+class _PostedSend:
+    ref: BufferRef
+    key: str
+    value: Any
+    nbytes: int
+    post_time: float
+    src: int
+    # filled at match time:
+    end_time: float | None = None
+
+
+@dataclasses.dataclass
+class _PostedRecv:
+    ref: BufferRef
+    key: str
+    nbytes: int
+    post_time: float
+    dst: int
+    end_time: float | None = None
+
+
+class _Actor:
+    def __init__(self, actor_id: int, program: Sequence[Instruction], store: ObjectStore):
+        self.id = actor_id
+        self.program = list(program)
+        self.store = store
+        self.pc = 0
+        self.time = 0.0  # device lane availability
+        # uid -> transfer end time (None until matched) for outstanding sends
+        self.outstanding_sends: dict[str, _PostedSend] = {}
+        self.posted: set[int] = set()  # pcs whose comm op has been posted
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.program)
+
+    def current(self) -> Instruction | None:
+        return None if self.done else self.program[self.pc]
+
+
+class MpmdExecutor:
+    """Executes per-actor instruction streams over persistent object stores.
+
+    The object stores persist across :meth:`execute` calls, so weights live
+    on their actors between training steps (the paper's "long-lived SPMD
+    actors").
+    """
+
+    def __init__(
+        self,
+        n_actors: int,
+        cost_model: CostModel | None = None,
+        comm_mode: CommMode = CommMode.ASYNC,
+    ):
+        self.n_actors = n_actors
+        self.cost = cost_model or ZeroCost()
+        self.comm_mode = comm_mode
+        self.stores = [ObjectStore(i) for i in range(n_actors)]
+
+    # -- store management (driver-facing) -------------------------------------
+    def place(self, actor: int, ref: BufferRef, value: Any, nbytes: int, pinned: bool = False) -> None:
+        """Put an input buffer on an actor before execution."""
+        self.stores[actor].put(ref, value, nbytes, pinned=pinned)
+
+    def fetch(self, actor: int, ref: BufferRef) -> Any:
+        """Read a buffer's payload from an actor."""
+        return self.stores[actor].get(ref).value
+
+    def delete(self, actor: int, ref: BufferRef) -> None:
+        """Driver-side delete (used between steps for retired state)."""
+        store = self.stores[actor]
+        buf = store.get(ref)
+        buf.pinned = False
+        store.delete(ref)
+
+    def rename(self, actor: int, src: BufferRef, dst: BufferRef) -> None:
+        """Move a buffer to a new uid without copying (state hand-over
+        between training steps)."""
+        store = self.stores[actor]
+        buf = store.get(src)
+        pinned = buf.pinned
+        buf.pinned = False
+        value, nbytes = buf.value, buf.nbytes
+        store.delete(src)
+        store.put(dst, value, nbytes, pinned=pinned)
+
+    # -- execution --------------------------------------------------------------
+    def execute(self, programs: Sequence[Sequence[Instruction]]) -> ExecutionResult:
+        """Run one fused program per actor to completion.
+
+        Raises:
+            DeadlockError: if no actor can progress (mis-ordered send/recv
+                under SYNC mode, or a genuine scheduling bug).
+            CommMismatchError: if a matched send/recv pair disagrees on keys.
+        """
+        if len(programs) != self.n_actors:
+            raise ValueError(f"expected {self.n_actors} programs, got {len(programs)}")
+        actors = [
+            _Actor(i, prog, self.stores[i]) for i, prog in enumerate(programs)
+        ]
+        channels: dict[tuple[int, int], tuple[deque, deque]] = {}
+        arrivals: dict[tuple[int, str], float] = {}
+        allreduce_posts: dict[str, dict[int, tuple[float, BufferRef]]] = {}
+        timeline: list[TimelineEvent] = []
+        p2p_bytes = 0
+        p2p_count = 0
+
+        def channel(src: int, dst: int) -> tuple[deque, deque]:
+            return channels.setdefault((src, dst), (deque(), deque()))
+
+        def ready_time(actor: _Actor, refs: Sequence[BufferRef]) -> float:
+            t = actor.time
+            for r in refs:
+                t = max(t, arrivals.get((actor.id, r.uid), 0.0))
+            return t
+
+        def try_match(src: int, dst: int) -> None:
+            nonlocal p2p_bytes, p2p_count
+            sends, recvs = channel(src, dst)
+            while sends and recvs:
+                s: _PostedSend = sends.popleft()
+                r: _PostedRecv = recvs.popleft()
+                if s.key != r.key:
+                    raise CommMismatchError(
+                        f"send/recv order mismatch on channel {src}->{dst}: "
+                        f"send key {s.key!r} met recv key {r.key!r} "
+                        "(NCCL would deadlock or corrupt data here)"
+                    )
+                nbytes = s.nbytes
+                start = max(s.post_time, r.post_time)
+                dur = self.cost.transfer_time(nbytes, src, dst)
+                end = start + dur
+                s.end_time = end
+                r.end_time = end
+                actors[dst].store.put(r.ref, s.value, nbytes)
+                arrivals[(dst, r.ref.uid)] = end
+                p2p_bytes += nbytes
+                p2p_count += 1
+                timeline.append(TimelineEvent(src, "send", s.key, start, end, nbytes))
+                timeline.append(TimelineEvent(dst, "recv", r.key, start, end, nbytes))
+
+        def flush_pending_deletes(actor: _Actor) -> None:
+            still = []
+            for ref in actor.store.pending_deletions:
+                posted = actor.outstanding_sends.get(ref.uid)
+                if posted is not None and posted.end_time is None:
+                    still.append(ref)
+                else:
+                    actor.outstanding_sends.pop(ref.uid, None)
+                    actor.store.delete(ref)
+            actor.store.pending_deletions = still
+
+        def step(actor: _Actor) -> bool:
+            """Try to execute the actor's current instruction. Returns True
+            on progress (pc advanced or a comm op newly posted)."""
+            instr = actor.current()
+            if instr is None:
+                return False
+
+            if isinstance(instr, RunTask):
+                for r in instr.in_refs:
+                    if r not in actor.store:
+                        return False  # waiting on a recv to deliver
+                start = ready_time(actor, instr.in_refs)
+                overhead = self.cost.dispatch_overhead()
+                dur = self.cost.task_time(instr.cost, instr.meta)
+                end = start + overhead + dur
+                if instr.fn is not None:
+                    invals = [actor.store.get(r).value for r in instr.in_refs]
+                    outvals = instr.fn(invals)
+                    if len(outvals) != len(instr.out_refs):
+                        raise RuntimeError(
+                            f"task {instr.name} returned {len(outvals)} values "
+                            f"for {len(instr.out_refs)} out_refs"
+                        )
+                    for ref, val, nb in zip(instr.out_refs, outvals, instr.meta.get("out_nbytes", [0] * len(instr.out_refs))):
+                        actor.store.put(ref, val, nb if nb else getattr(val, "nbytes", 0))
+                        arrivals[(actor.id, ref.uid)] = end
+                else:
+                    for ref, nb in zip(instr.out_refs, instr.meta.get("out_nbytes", [0] * len(instr.out_refs))):
+                        actor.store.put(ref, None, nb)
+                        arrivals[(actor.id, ref.uid)] = end
+                actor.time = end
+                timeline.append(
+                    TimelineEvent(actor.id, "task", instr.name, start, end, meta=dict(instr.meta))
+                )
+                actor.pc += 1
+                return True
+
+            if isinstance(instr, Send):
+                if actor.pc not in actor.posted:
+                    if instr.ref not in actor.store:
+                        return False  # value not produced yet (compiler bug upstream)
+                    buf = actor.store.get(instr.ref)
+                    post = _PostedSend(
+                        instr.ref, instr.key, buf.value, buf.nbytes,
+                        ready_time(actor, [instr.ref]), actor.id,
+                    )
+                    channel(actor.id, instr.dst)[0].append(post)
+                    actor.outstanding_sends[instr.ref.uid] = post
+                    actor.posted.add(actor.pc)
+                    try_match(actor.id, instr.dst)
+                    if self.comm_mode is CommMode.ASYNC:
+                        actor.pc += 1
+                    return True
+                # SYNC: already posted, waiting for the match to complete
+                post = actor.outstanding_sends[instr.ref.uid]
+                if post.end_time is None:
+                    return False
+                actor.time = max(actor.time, post.end_time)
+                actor.pc += 1
+                return True
+
+            if isinstance(instr, Recv):
+                if actor.pc not in actor.posted:
+                    post = _PostedRecv(instr.ref, instr.key, instr.nbytes, actor.time, actor.id)
+                    channel(instr.src, actor.id)[1].append(post)
+                    actor.posted.add(actor.pc)
+                    actor._last_recv = post  # type: ignore[attr-defined]
+                    try_match(instr.src, actor.id)
+                    if self.comm_mode is CommMode.ASYNC:
+                        actor.pc += 1
+                    return True
+                post = actor._last_recv  # type: ignore[attr-defined]
+                if post.end_time is None:
+                    return False
+                actor.time = max(actor.time, post.end_time)
+                actor.pc += 1
+                return True
+
+            if isinstance(instr, Delete):
+                flush_pending_deletes(actor)
+                posted = actor.outstanding_sends.get(instr.ref.uid)
+                if posted is not None and posted.end_time is None:
+                    actor.store.pending_deletions.append(instr.ref)
+                else:
+                    actor.outstanding_sends.pop(instr.ref.uid, None)
+                    actor.store.delete(instr.ref)
+                actor.pc += 1
+                return True
+
+            if isinstance(instr, Accumulate):
+                if instr.value not in actor.store:
+                    return False
+                start = ready_time(actor, [instr.value] + ([instr.acc] if instr.acc in actor.store else []))
+                vbuf = actor.store.get(instr.value)
+                if instr.acc in actor.store:
+                    abuf = actor.store.get(instr.acc)
+                    if abuf.value is not None and vbuf.value is not None:
+                        actor.store.update(instr.acc, abuf.value + vbuf.value)
+                else:
+                    actor.store.put(instr.acc, vbuf.value, vbuf.nbytes)
+                arrivals[(actor.id, instr.acc.uid)] = start
+                if instr.delete_value:
+                    actor.store.delete(instr.value)
+                timeline.append(TimelineEvent(actor.id, "accum", instr.acc.uid, start, start))
+                actor.pc += 1
+                return True
+
+            if isinstance(instr, AllReduce):
+                posts = allreduce_posts.setdefault(instr.group_key, {})
+                if actor.id not in posts:
+                    if instr.ref not in actor.store:
+                        return False
+                    posts[actor.id] = (ready_time(actor, [instr.ref]), instr.ref)
+                if set(posts) != set(instr.group):
+                    return False  # rendezvous incomplete
+                start = max(t for t, _ in posts.values())
+                buf0 = actor.store.get(instr.ref)
+                dur = self.cost.collective_time(buf0.nbytes, instr.group)
+                end = start + dur
+                # First actor to observe completion computes the reduction
+                # for the whole group (deterministic order).
+                if not allreduce_posts.get(instr.group_key + "/done"):
+                    vals = [
+                        self.stores[a].get(ref).value for a, (_, ref) in sorted(posts.items())
+                    ]
+                    total = None
+                    if all(v is not None for v in vals):
+                        total = vals[0]
+                        for v in vals[1:]:
+                            total = total + v
+                    for a, (_, ref) in posts.items():
+                        if total is not None:
+                            self.stores[a].update(ref, total)
+                        arrivals[(a, ref.uid)] = end
+                    allreduce_posts[instr.group_key + "/done"] = {0: (end, instr.ref)}
+                    timeline.append(
+                        TimelineEvent(actor.id, "allreduce", instr.group_key, start, end, buf0.nbytes)
+                    )
+                actor.time = max(actor.time, end)
+                actor.pc += 1
+                return True
+
+            raise TypeError(f"unknown instruction {instr!r}")
+
+        # round-robin fixpoint; deterministic
+        while True:
+            progress = False
+            for actor in actors:
+                while not actor.done and step(actor):
+                    progress = True
+            if all(a.done for a in actors):
+                break
+            if not progress:
+                state = "; ".join(
+                    f"actor {a.id} stuck at [{a.pc}] {a.current()!r}" for a in actors if not a.done
+                )
+                raise DeadlockError(f"no actor can make progress: {state}")
+
+        # final pending deletions (sends all matched by now or program bug)
+        for actor in actors:
+            flush_pending_deletes(actor)
+
+        timeline.sort(key=lambda e: (e.start, e.actor))
+        finish = [a.time for a in actors]
+        return ExecutionResult(
+            makespan=max(finish) if finish else 0.0,
+            timeline=timeline,
+            actor_finish=finish,
+            p2p_bytes=p2p_bytes,
+            p2p_count=p2p_count,
+        )

@@ -1,0 +1,130 @@
+"""Per-actor instruction streams (§4.4's fused MPMD "program").
+
+The JaxPP compiler lowers the unrolled task graph into one flat instruction
+list per actor — run-task, send, recv, delete, accumulate, all-reduce —
+which the driver dispatches in a single RPC per actor. The executor in
+:mod:`repro.runtime.executor` interprets these streams for real (numeric
+mode) or symbolically under a cost model (simulation mode).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+__all__ = [
+    "BufferRef",
+    "Instruction",
+    "RunTask",
+    "Send",
+    "Recv",
+    "Delete",
+    "Accumulate",
+    "AllReduce",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class BufferRef:
+    """A handle naming one buffer in some actor's object store.
+
+    ``uid`` is unique across the whole program; the same uid on two actors
+    refers to the two ends of a transfer.
+    """
+
+    uid: str
+
+    def __repr__(self) -> str:
+        return f"&{self.uid}"
+
+
+class Instruction:
+    """Base class for actor instructions (see subclasses)."""
+
+    __slots__ = ()
+
+
+@dataclasses.dataclass
+class RunTask(Instruction):
+    """Execute one SPMD task (a pipeline-stage computation).
+
+    Attributes:
+        name: display name, e.g. ``"f1(3)"`` — stage & microbatch like Fig 3.
+        in_refs: operand buffers (must all be present & arrived).
+        out_refs: buffers the task defines.
+        fn: executable payload — ``None`` in simulation mode. Numeric mode
+            uses a callable ``fn(list_of_arrays) -> list_of_arrays``.
+        cost: virtual seconds of device time (simulation mode; numeric mode
+            may leave 0). Dispatch overhead is added by the cost model.
+        meta: free-form details (stage id, microbatch, kind) for timelines.
+    """
+
+    name: str
+    in_refs: list[BufferRef]
+    out_refs: list[BufferRef]
+    fn: Any = None
+    cost: float = 0.0
+    meta: dict = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class Send(Instruction):
+    """Post an asynchronous point-to-point send of ``ref`` to ``dst``.
+
+    NCCL semantics: the k-th send from A to B matches the k-th recv from A
+    posted on B; matching order must agree or the program deadlocks
+    (Figure 5). ``key`` is carried for cross-checking that matched pairs
+    refer to the same logical value.
+    """
+
+    ref: BufferRef
+    dst: int
+    key: str
+
+
+@dataclasses.dataclass
+class Recv(Instruction):
+    """Post an asynchronous receive into ``ref`` from ``src`` (see
+    :class:`Send` for matching semantics)."""
+
+    ref: BufferRef
+    src: int
+    key: str
+    nbytes: int = 0  # simulation mode: expected transfer size
+
+
+@dataclasses.dataclass
+class Delete(Instruction):
+    """Free a buffer (§4.3).
+
+    If the buffer has an outstanding send, deletion is deferred into the
+    actor's pending-deletions queue and retried by later deletes — exactly
+    the reclamation scheme the paper describes.
+    """
+
+    ref: BufferRef
+
+
+@dataclasses.dataclass
+class Accumulate(Instruction):
+    """Gradient accumulation: ``acc += value`` (first use initialises).
+
+    This is the loop-carried state of ``accumulate_grads`` made explicit in
+    the instruction stream so that schedules are free to interleave
+    microbatches arbitrarily.
+    """
+
+    acc: BufferRef
+    value: BufferRef
+    delete_value: bool = True
+
+
+@dataclasses.dataclass
+class AllReduce(Instruction):
+    """Cross-actor collective (data-parallel gradient sync across pipeline
+    replicas). All actors listing the same ``group_key`` rendezvous; each
+    contributes ``ref`` and receives the elementwise sum."""
+
+    ref: BufferRef
+    group: tuple[int, ...]
+    group_key: str

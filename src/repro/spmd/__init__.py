@@ -1,0 +1,37 @@
+"""GSPMD substrate: named-axis sharding, propagation, collective insertion,
+and a lock-step multi-device executor (§2.1 of the paper).
+
+Typical flow::
+
+    from repro import ir, spmd
+
+    mesh = spmd.Mesh([("data", 2), ("model", 2)])
+    jaxpr, _, _ = ir.trace(f, x, w)
+    prog = spmd.partition(jaxpr, mesh, in_specs=[("batch", None), (None, "mlp")],
+                          rules={"batch": "data", "mlp": "model"})
+    outs = spmd.SpmdExecutor(mesh).run(prog, [x, w])
+"""
+
+from repro.spmd.collectives import (
+    COLLECTIVE_PRIMS,
+    all_gather_p,
+    all_reduce_p,
+    mesh_split_p,
+    reduce_scatter_p,
+    shard_constraint_p,
+)
+from repro.spmd.executor import CollectiveStats, SpmdExecutor, shard_array, unshard_array
+from repro.spmd.logical import resolve_names, shard
+from repro.spmd.mesh import Mesh
+from repro.spmd.partitioner import PartitionedProgram, partition
+from repro.spmd.spec import PSpec, local_shape, merge_specs, replicated
+
+__all__ = [
+    "Mesh",
+    "PSpec", "replicated", "local_shape", "merge_specs",
+    "shard", "resolve_names",
+    "partition", "PartitionedProgram",
+    "SpmdExecutor", "CollectiveStats", "shard_array", "unshard_array",
+    "all_reduce_p", "all_gather_p", "mesh_split_p", "reduce_scatter_p",
+    "shard_constraint_p", "COLLECTIVE_PRIMS",
+]

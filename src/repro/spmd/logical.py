@@ -1,0 +1,52 @@
+"""Logical named axes (Figure 1 of the paper).
+
+Models annotate arrays with *logical* axis names (``("batch", "emb")``) via
+:func:`shard`; a separate partitioning specification maps logical names to
+mesh axes (``{"batch": "data", "mlp": "model"}``, Figure 1b). The same
+model therefore instantiates as data-parallel, tensor-parallel, or both,
+depending only on the mesh shape and the rules — the decoupling that
+motivates JaxPP building on GSPMD instead of hand-rolled parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.ir.avals import abstractify
+from repro.spmd.collectives import shard_constraint_p
+from repro.spmd.spec import PSpec
+
+__all__ = ["shard", "resolve_names"]
+
+
+def shard(x: Any, names: Sequence[str | None]) -> Any:
+    """Annotate ``x`` with logical axis names, one per dim (``None`` =
+    unconstrained). Identity semantics; a hint consumed by the SPMD
+    partitioner. Mirrors ``jax.lax.with_sharding_constraint`` with logical
+    rules."""
+    names = tuple(names)
+    if len(names) != abstractify(x).ndim:
+        raise ValueError(
+            f"shard annotation {names} has wrong rank for shape {abstractify(x).shape}"
+        )
+    return shard_constraint_p.bind(x, names=names)
+
+
+def resolve_names(names: Sequence[str | None], rules: Mapping[str, str | None]) -> PSpec:
+    """Resolve logical axis names to a concrete :class:`PSpec` using the
+    partitioning specification ``rules``.
+
+    Unmapped names (or names mapped to ``None``) are replicated. A mesh
+    axis claimed by two different dims keeps only the first (later dims
+    replicate) so specs stay valid.
+    """
+    dims: list[str | None] = []
+    seen: set[str] = set()
+    for n in names:
+        axis = rules.get(n) if n is not None else None
+        if axis is not None and axis in seen:
+            axis = None
+        if axis is not None:
+            seen.add(axis)
+        dims.append(axis)
+    return PSpec(dims)

@@ -1,0 +1,126 @@
+"""Logical device meshes (§2.1 of the paper).
+
+A :class:`Mesh` arranges a set of devices in a named multi-dimensional
+array, e.g. ``Mesh([("data", 4), ("model", 8)])``. Mesh axis names are what
+partition specs refer to; collective operations run over *groups* — the
+sets of devices that differ only in one mesh coordinate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+from typing import Sequence
+
+__all__ = ["Mesh"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Mesh:
+    """A named logical mesh over ``n_devices`` devices.
+
+    Attributes:
+        axes: ordered ``(name, size)`` pairs; the product of sizes is the
+            device count. Device *index* maps to mesh *coordinates*
+            row-major, matching JAX's default device order.
+        device_ids: optional explicit device identifiers (defaults to
+            ``range(n)``); carried for topology-aware cost models.
+    """
+
+    axes: tuple[tuple[str, int], ...]
+    device_ids: tuple[int, ...] = ()
+
+    def __init__(self, axes: Sequence[tuple[str, int]], device_ids: Sequence[int] | None = None):
+        axes = tuple((str(n), int(s)) for n, s in axes)
+        names = [n for n, _ in axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate mesh axis names: {names}")
+        if any(s <= 0 for _, s in axes):
+            raise ValueError(f"mesh axis sizes must be positive: {axes}")
+        n = math.prod(s for _, s in axes)
+        if device_ids is None:
+            device_ids = tuple(range(n))
+        else:
+            device_ids = tuple(int(d) for d in device_ids)
+            if len(device_ids) != n:
+                raise ValueError(f"mesh of shape {axes} needs {n} devices, got {len(device_ids)}")
+            if len(set(device_ids)) != n:
+                raise ValueError("mesh devices must not repeat")
+        object.__setattr__(self, "axes", axes)
+        object.__setattr__(self, "device_ids", device_ids)
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def axis_names(self) -> tuple[str, ...]:
+        """Mesh axis names in order."""
+        return tuple(n for n, _ in self.axes)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Mesh axis sizes in order."""
+        return tuple(s for _, s in self.axes)
+
+    @property
+    def n_devices(self) -> int:
+        """Total device count."""
+        return math.prod(self.shape)
+
+    def axis_size(self, name: str) -> int:
+        """Size of the named axis."""
+        for n, s in self.axes:
+            if n == name:
+                return s
+        raise KeyError(f"no mesh axis named {name!r} in {self.axis_names}")
+
+    def axis_index(self, name: str) -> int:
+        """Position of the named axis."""
+        for i, (n, _) in enumerate(self.axes):
+            if n == name:
+                return i
+        raise KeyError(f"no mesh axis named {name!r} in {self.axis_names}")
+
+    # -- coordinates ----------------------------------------------------------
+    def coords(self, device: int) -> tuple[int, ...]:
+        """Mesh coordinates of a device index (row-major)."""
+        if not (0 <= device < self.n_devices):
+            raise IndexError(f"device {device} out of range")
+        out = []
+        rem = device
+        for s in reversed(self.shape):
+            out.append(rem % s)
+            rem //= s
+        return tuple(reversed(out))
+
+    def device_at(self, coords: Sequence[int]) -> int:
+        """Device index at the given mesh coordinates."""
+        idx = 0
+        for c, s in zip(coords, self.shape):
+            if not (0 <= c < s):
+                raise IndexError(f"coordinate {coords} out of mesh {self.shape}")
+            idx = idx * s + c
+        return idx
+
+    def axis_coord(self, device: int, name: str) -> int:
+        """This device's coordinate along the named axis."""
+        return self.coords(device)[self.axis_index(name)]
+
+    def groups(self, name: str) -> list[list[int]]:
+        """Communication groups for a collective over axis ``name``: each
+        group holds the devices that differ only in that coordinate, in
+        axis order."""
+        ai = self.axis_index(name)
+        other = [range(s) for i, s in enumerate(self.shape) if i != ai]
+        out: list[list[int]] = []
+        for fixed in itertools.product(*other):
+            group = []
+            for k in range(self.shape[ai]):
+                coords = list(fixed)
+                coords.insert(ai, k)
+                group.append(self.device_at(coords))
+            out.append(group)
+        return out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"({n!r}, {s})" for n, s in self.axes)
+        return f"Mesh([{inner}])"

@@ -1,0 +1,121 @@
+"""Partition specs: how an array's dims map onto mesh axes (§2.1).
+
+``PSpec(("data", None))`` shards dim 0 over mesh axis ``data`` and
+replicates dim 1 — the row-sharding of Figure 1. The *logical* named-axis
+layer (``batch ▷ data`` in Figure 1b) is in :mod:`repro.spmd.logical`; it
+resolves down to these concrete specs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.ir.avals import ShapedArray
+from repro.spmd.mesh import Mesh
+
+__all__ = ["PSpec", "replicated", "local_shape", "merge_specs"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PSpec:
+    """Concrete partition spec: one mesh-axis name (or None) per array dim.
+
+    A mesh axis may appear at most once; dims mapped to ``None`` are
+    replicated over the unmentioned mesh axes, exactly as the paper
+    describes.
+    """
+
+    dims: tuple[str | None, ...]
+
+    def __init__(self, dims: Sequence[str | None]):
+        dims = tuple(dims)
+        named = [d for d in dims if d is not None]
+        if len(set(named)) != len(named):
+            raise ValueError(f"mesh axis used twice in spec: {dims}")
+        object.__setattr__(self, "dims", dims)
+
+    @property
+    def ndim(self) -> int:
+        """Array rank this spec applies to."""
+        return len(self.dims)
+
+    @property
+    def is_replicated(self) -> bool:
+        """True if no dim is sharded."""
+        return all(d is None for d in self.dims)
+
+    @property
+    def sharded_axes(self) -> tuple[str, ...]:
+        """Mesh axes used by this spec."""
+        return tuple(d for d in self.dims if d is not None)
+
+    def dim_of(self, axis: str) -> int:
+        """Array dim sharded by mesh axis ``axis``."""
+        for i, d in enumerate(self.dims):
+            if d == axis:
+                return i
+        raise KeyError(f"axis {axis!r} not in spec {self}")
+
+    def with_dim(self, dim: int, axis: str | None) -> "PSpec":
+        """Copy with one dim's mapping replaced."""
+        dims = list(self.dims)
+        dims[dim] = axis
+        return PSpec(dims)
+
+    def __repr__(self) -> str:
+        return "P(" + ", ".join("_" if d is None else d for d in self.dims) + ")"
+
+
+def replicated(ndim: int) -> PSpec:
+    """Fully-replicated spec of the given rank."""
+    return PSpec((None,) * ndim)
+
+
+def local_shape(aval: ShapedArray, spec: PSpec, mesh: Mesh) -> tuple[int, ...]:
+    """Per-device shard shape for ``aval`` under ``spec``.
+
+    Raises:
+        ValueError: when a sharded dim is not divisible by its mesh axis
+            size (we require even sharding, like GSPMD's default).
+    """
+    if len(spec.dims) != aval.ndim:
+        raise ValueError(f"spec {spec} has wrong rank for {aval!r}")
+    out = []
+    for d, axis in zip(aval.shape, spec.dims):
+        if axis is None:
+            out.append(d)
+        else:
+            size = mesh.axis_size(axis)
+            if d % size != 0:
+                raise ValueError(
+                    f"dim of size {d} not divisible by mesh axis {axis!r} ({size}) in {aval!r}"
+                )
+            out.append(d // size)
+    return tuple(out)
+
+
+def merge_specs(a: PSpec, b: PSpec) -> PSpec | None:
+    """Merge two candidate specs for the same array dim-by-dim.
+
+    ``None`` dims defer to the sharded side; two different shardings of the
+    same dim are a conflict (returns ``None``; callers fall back to
+    replication — a simplification of GSPMD's priority scheme, documented
+    in DESIGN.md).
+    """
+    if a.ndim != b.ndim:
+        return None
+    dims: list[str | None] = []
+    for da, db in zip(a.dims, b.dims):
+        if da == db:
+            dims.append(da)
+        elif da is None:
+            dims.append(db)
+        elif db is None:
+            dims.append(da)
+        else:
+            return None
+    try:
+        return PSpec(dims)
+    except ValueError:
+        return None

@@ -1,0 +1,5 @@
+"""Terminal visualisation of schedules and execution timelines (Fig. 2)."""
+
+from repro.viz.ascii import render_schedule, render_timeline
+
+__all__ = ["render_schedule", "render_timeline"]

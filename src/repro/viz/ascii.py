@@ -1,0 +1,76 @@
+"""ASCII rendering of pipeline schedules and execution timelines.
+
+Reproduces the paper's Figure 2 visually: one row per actor, microbatch
+numbers in execution order, forward/backward distinguished — plus a
+wall-clock variant driven by the runtime's :class:`TimelineEvent` stream.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.schedules import Schedule
+from repro.runtime.executor import TimelineEvent
+
+__all__ = ["render_schedule", "render_timeline"]
+
+
+def render_schedule(schedule: Schedule, n_mbs: int, width: int | None = None) -> str:
+    """Figure-2-style logical timeline of a schedule.
+
+    Each cell is one unit: ``F3`` = forward of microbatch 3 (lowercase for
+    backward). With circular repeat, the chunk index is appended as
+    ``F3'1`` for stage chunk 1. Cells advance in per-actor program order
+    with stalls ignored (this is the *logical* order the paper's Figure 2
+    shows, not wall-clock).
+    """
+    rows = []
+    for actor, seq in enumerate(schedule.units(n_mbs)):
+        cells = []
+        for u in seq:
+            chunk = u.stage // schedule.n_actors
+            tag = f"F{u.mb}" if u.kind == "fwd" else f"b{u.mb}"
+            if schedule.n_stages > schedule.n_actors:
+                tag += f"'{chunk}"
+            cells.append(tag)
+        row = " ".join(cells)
+        if width:
+            row = row[:width]
+        rows.append(f"actor {actor}: {row}")
+    return "\n".join(rows)
+
+
+def render_timeline(
+    events: Sequence[TimelineEvent],
+    n_actors: int,
+    width: int = 100,
+    kinds: tuple[str, ...] = ("task",),
+) -> str:
+    """Wall-clock timeline: one row per actor, proportional to virtual time.
+
+    Task intervals are filled with the first letter of their name (``f``/
+    ``b``), idle time with ``.`` — making pipeline bubbles literally
+    visible in the terminal, which is how the schedule-comparison example
+    shows GPipe's bubble against 1F1B's.
+    """
+    evs = [e for e in events if e.kind in kinds]
+    if not evs:
+        return "(empty timeline)"
+    t_end = max(e.end for e in evs)
+    if t_end <= 0:
+        return "(zero-length timeline)"
+    scale = width / t_end
+    rows = []
+    for actor in range(n_actors):
+        row = ["."] * width
+        for e in evs:
+            if e.actor != actor:
+                continue
+            lo = int(e.start * scale)
+            hi = max(lo + 1, int(e.end * scale))
+            ch = (e.name[0] if e.name else "#")
+            for i in range(lo, min(hi, width)):
+                row[i] = ch
+        rows.append(f"actor {actor}: |{''.join(row)}|")
+    rows.append(f"{'':9}0{'':{width - 8}}t={t_end:.3g}s")
+    return "\n".join(rows)

@@ -1,0 +1,139 @@
+"""Tests for the accumulate_grads loop construct (§3.1)."""
+
+import numpy as np
+import pytest
+
+from repro import ir, core
+from repro.ir import ops
+from repro.core.accumulate import ADD, STACK, pipeline_loop_p, reference_loop
+from tests.helpers import rng
+
+
+def _batch(n_mbs=4, mbsz=3, d=2, seed=0):
+    return rng(seed).randn(n_mbs, mbsz, d).astype(np.float32)
+
+
+class TestReferenceSemantics:
+    def test_matches_manual_loop(self):
+        X = _batch()
+
+        def fn(mb):
+            return (mb ** 2).sum(), (mb.sum(),)
+
+        out_sum, (out_stack,) = reference_loop(fn, X)
+        assert out_sum == pytest.approx(sum((X[i] ** 2).sum() for i in range(4)), rel=1e-5)
+        np.testing.assert_allclose(out_stack, [X[i].sum() for i in range(4)], rtol=1e-5)
+
+    def test_eager_accumulate_grads_is_reference(self):
+        X = _batch(seed=1)
+
+        def fn(mb):
+            return ops.mul(mb, 2.0), ops.mean(mb)
+
+        got = core.accumulate_grads(fn, None)((X,)) if False else core.accumulate_grads(fn, None)(X)
+        want = reference_loop(fn, X)
+        np.testing.assert_allclose(got[0], want[0], rtol=1e-6)
+        np.testing.assert_allclose(got[1], want[1], rtol=1e-6)
+
+    def test_pytree_batch(self):
+        X, Y = _batch(seed=2), _batch(seed=3)
+
+        def fn(mb):
+            return ops.mean(ops.mul(mb["x"], mb["y"])), ops.mean(mb["x"])
+
+        out = core.accumulate_grads(fn, None)({"x": X, "y": Y})
+        assert np.asarray(out[1]).shape == (4,)
+
+    def test_out_ops_override(self):
+        X = _batch(seed=4)
+
+        def fn(mb):
+            return ops.mean(mb), ops.mean(mb)
+
+        s1, s2 = core.accumulate_grads(fn, None, out_ops=("stack", "stack"))(X)
+        assert np.asarray(s1).shape == (4,)
+        assert np.asarray(s2).shape == (4,)
+
+    def test_bad_out_ops_rejected(self):
+        X = _batch(seed=5)
+
+        def fn(mb):
+            return ops.mean(mb), ops.mean(mb)
+
+        with pytest.raises(ValueError):
+            core.accumulate_grads(fn, None, out_ops=("fold",))(X)
+
+
+class TestTracedLoop:
+    def test_single_loop_eqn_recorded(self):
+        X = _batch(seed=6)
+
+        def train(X):
+            def fn(mb):
+                return ops.mean(mb), ops.mean(mb)
+
+            return core.accumulate_grads(fn, None)(X)
+
+        jaxpr, _, _ = ir.trace(train, X)
+        loops = [e for e in jaxpr.eqns if e.prim is pipeline_loop_p]
+        assert len(loops) == 1
+        assert loops[0].params["n_mbs"] == 4
+        assert loops[0].params["out_ops"] == (ADD, STACK)
+
+    def test_closure_captured_as_loop_input(self):
+        X = _batch(seed=7)
+        W = rng(8).randn(2, 2).astype(np.float32)
+
+        def train(W, X):
+            def fn(mb):
+                return ops.mean(ops.matmul(mb, W)), ops.mean(mb)
+
+            return core.accumulate_grads(fn, None)(X)
+
+        jaxpr, _, _ = ir.trace(train, W, X)
+        loop = [e for e in jaxpr.eqns if e.prim is pipeline_loop_p][0]
+        # invars: batch leaf + captured W
+        assert len(loop.invars) == 2
+        assert loop.params["n_batch_leaves"] == 1
+
+    def test_traced_eval_matches_eager(self):
+        X = _batch(seed=9)
+
+        def train(X):
+            def fn(mb):
+                return (ops.mul(mb, 3.0)), ops.mean(mb)
+
+            return core.accumulate_grads(fn, None)(X)
+
+        jaxpr, _, _ = ir.trace(train, X)
+        outs = ir.eval_jaxpr(jaxpr, [X])
+        ref = train(X)
+        np.testing.assert_allclose(outs[0], ref[0], rtol=1e-6)
+        np.testing.assert_allclose(outs[1], ref[1], rtol=1e-6)
+
+    def test_abstract_shapes(self):
+        X = _batch(n_mbs=5, seed=10)
+
+        def train(X):
+            def fn(mb):
+                return ops.mean(mb), ops.mean(mb)
+
+            return core.accumulate_grads(fn, None)(X)
+
+        jaxpr, _, _ = ir.trace(train, X)
+        loop = [e for e in jaxpr.eqns if e.prim is pipeline_loop_p][0]
+        assert loop.outvars[0].aval.shape == ()       # summed
+        assert loop.outvars[1].aval.shape == (5,)     # stacked
+
+    def test_mismatched_leading_axis_rejected(self):
+        X = _batch(n_mbs=4, seed=11)
+        Y = _batch(n_mbs=3, seed=12)
+
+        def train(X, Y):
+            def fn(mb):
+                return ops.mean(ops.add(mb[0], 0.0)), ops.mean(mb[1])
+
+            return core.accumulate_grads(fn, None)((X, Y))
+
+        with pytest.raises(ValueError):
+            ir.trace(train, X, Y)

@@ -1,0 +1,185 @@
+"""Schedule tests: validity, memory/bubble characteristics (§2.2.1), and
+hypothesis properties over random configurations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedules import (
+    GPipe,
+    Interleaved1F1B,
+    OneFOneB,
+    Unit,
+    schedule_stats,
+    validate_schedule,
+)
+
+
+class TestGPipe:
+    def test_valid(self):
+        validate_schedule(GPipe(4), 8)
+
+    def test_all_forwards_before_backwards(self):
+        for seq in GPipe(3).units(5):
+            kinds = [u.kind for u in seq]
+            assert kinds == ["fwd"] * 5 + ["bwd"] * 5
+
+    def test_backward_reverse_order(self):
+        seq = GPipe(2).units(4)[0]
+        bwd_mbs = [u.mb for u in seq if u.kind == "bwd"]
+        assert bwd_mbs == [3, 2, 1, 0]
+
+    def test_peak_memory_scales_with_microbatches(self):
+        stats = schedule_stats(GPipe(4), 16)
+        assert stats["peak_live_activations"][0] == 16
+
+    def test_one_stage_per_actor(self):
+        with pytest.raises(ValueError):
+            GPipe(4, n_actors=2)
+
+
+class TestOneFOneB:
+    def test_valid(self):
+        validate_schedule(OneFOneB(4), 8)
+
+    def test_warmup_counts(self):
+        per_actor = OneFOneB(4).units(8)
+        for rank, seq in enumerate(per_actor):
+            warmup = 0
+            for u in seq:
+                if u.kind != "fwd":
+                    break
+                warmup += 1
+            assert warmup == 4 - rank - 1 + 1  # warmup fwds + first steady fwd
+
+    def test_peak_memory_scales_with_stages(self):
+        # §2.2.1: memory ∝ #stages, independent of #microbatches
+        s8 = schedule_stats(OneFOneB(4), 8)
+        s32 = schedule_stats(OneFOneB(4), 32)
+        assert s8["peak_live_activations"] == s32["peak_live_activations"]
+        assert s8["peak_live_activations"][0] == 4
+
+    def test_memory_reduction_vs_gpipe(self):
+        # the 2-3x activation memory reduction claim
+        g = schedule_stats(GPipe(4), 12)["peak_live_activations"][0]
+        o = schedule_stats(OneFOneB(4), 12)["peak_live_activations"][0]
+        assert g / o == 3.0
+
+    def test_same_bubble_as_gpipe(self):
+        # 1F1B improves memory, not the bubble: (p-1)/(m+p-1) for both
+        g = schedule_stats(GPipe(4), 8)["bubble_fraction"]
+        o = schedule_stats(OneFOneB(4), 8)["bubble_fraction"]
+        assert g == pytest.approx(o, rel=1e-9)
+
+    def test_fewer_microbatches_than_stages(self):
+        validate_schedule(OneFOneB(4), 2)
+
+
+class TestInterleaved:
+    def test_valid(self):
+        validate_schedule(Interleaved1F1B(4, 2), 8)
+        validate_schedule(Interleaved1F1B(2, 3), 4)
+
+    def test_stage_to_actor_round_robin(self):
+        s = Interleaved1F1B(4, 2)
+        assert [s.actor_of_stage(i) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_stages_of_actor(self):
+        s = Interleaved1F1B(2, 3)
+        assert s.stages_of_actor(0) == [0, 2, 4]
+        assert s.stages_of_actor(1) == [1, 3, 5]
+
+    def test_requires_divisible_microbatches(self):
+        with pytest.raises(ValueError):
+            Interleaved1F1B(4, 2).units(6)
+
+    def test_smaller_bubble_than_1f1b(self):
+        # interleaving's raison d'être (§2.2.1 / Fig 6): with v chunks the
+        # per-unit cost is 1/v, so compare bubble fractions at equal work.
+        plain = schedule_stats(OneFOneB(4), 8, fwd_time=1.0, bwd_time=2.0)
+        inter = schedule_stats(Interleaved1F1B(4, 2), 8, fwd_time=0.5, bwd_time=1.0)
+        assert inter["bubble_fraction"] < plain["bubble_fraction"]
+
+    def test_v1_equals_plain_1f1b_bubble(self):
+        a = schedule_stats(Interleaved1F1B(4, 1), 8)
+        b = schedule_stats(OneFOneB(4), 8)
+        assert a["makespan"] == b["makespan"]
+
+    def test_circular_repeat_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Interleaved1F1B(4, 0)
+
+
+class TestValidation:
+    def test_detects_duplicate(self):
+        class Bad(OneFOneB):
+            def units(self, n_mbs):
+                out = super().units(n_mbs)
+                out[0].append(out[0][0])
+                return out
+
+        with pytest.raises(ValueError, match="twice"):
+            validate_schedule(Bad(2), 2)
+
+    def test_detects_missing(self):
+        class Bad(OneFOneB):
+            def units(self, n_mbs):
+                out = super().units(n_mbs)
+                out[0] = out[0][:-1]
+                return out
+
+        with pytest.raises(ValueError, match="incomplete"):
+            validate_schedule(Bad(2), 2)
+
+    def test_detects_wrong_actor(self):
+        class Bad(OneFOneB):
+            def units(self, n_mbs):
+                out = super().units(n_mbs)
+                out[0], out[1] = out[1], out[0]
+                return out
+
+        with pytest.raises(ValueError, match="belongs to"):
+            validate_schedule(Bad(2), 2)
+
+    def test_detects_deadlock(self):
+        class Bad(OneFOneB):
+            def units(self, n_mbs):
+                out = super().units(n_mbs)
+                out[0] = list(reversed(out[0]))
+                return out
+
+        with pytest.raises(ValueError):
+            validate_schedule(Bad(2), 2)
+
+
+class TestScheduleProperties:
+    @given(
+        p=st.integers(2, 6),
+        m_mult=st.integers(1, 4),
+        v=st.integers(1, 3),
+        kind=st.sampled_from(["gpipe", "1f1b", "interleaved"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_configs_valid(self, p, m_mult, v, kind):
+        m = p * m_mult
+        if kind == "gpipe":
+            sched = GPipe(p)
+        elif kind == "1f1b":
+            sched = OneFOneB(p)
+        else:
+            sched = Interleaved1F1B(p, v)
+        validate_schedule(sched, m)
+
+    @given(p=st.integers(2, 5), m_mult=st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_1f1b_memory_bounded_by_stages(self, p, m_mult):
+        stats = schedule_stats(OneFOneB(p), p * m_mult)
+        for rank, peak in enumerate(stats["peak_live_activations"]):
+            assert peak <= p - rank
+
+    @given(p=st.integers(2, 4), m_mult=st.integers(2, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_bubble_decreases_with_microbatches(self, p, m_mult):
+        few = schedule_stats(OneFOneB(p), p)["bubble_fraction"]
+        many = schedule_stats(OneFOneB(p), p * m_mult)["bubble_fraction"]
+        assert many < few

@@ -1,0 +1,144 @@
+"""Tests for stage splitting (§3.2-3.3): the Figure 3 task structure."""
+
+import numpy as np
+import pytest
+
+from repro import ir
+from repro.ir import nn, ops, pipeline_yield
+from repro.core.stage_split import FUSED_KIND, split_stages
+from tests.helpers import rng
+
+
+def _mlp_body(n_stages=3, d=4, mbsz=5, seed=0, tied=False):
+    """Trace the fwd+bwd microbatch-gradient body of an n-stage MLP."""
+    r = rng(seed)
+    params = {f"w{i}": (r.randn(d, d) * 0.4).astype(np.float32) for i in range(n_stages)}
+    X = r.randn(mbsz, d).astype(np.float32)
+    Y = r.randn(mbsz, d).astype(np.float32)
+
+    def loss_fn(p, x, y):
+        h = x
+        for i in range(n_stages):
+            w = p["w0"] if (tied and i == n_stages - 1) else p[f"w{i}"]
+            h = nn.relu(ops.matmul(h, w)) if i < n_stages - 1 else ops.matmul(h, w)
+            if i < n_stages - 1:
+                h = pipeline_yield(h)
+        return ops.mean((h - y) ** 2.0)
+
+    def body(p, x, y):
+        loss, grads = ir.value_and_grad(loss_fn)(p, x, y)
+        return grads, loss
+
+    jaxpr, _, _ = ir.trace(body, params, X, Y)
+    return jaxpr, params, X, Y
+
+
+class TestFigure3Structure:
+    def test_task_count_and_kinds(self):
+        body, *_ = _mlp_body(3)
+        split = split_stages(body)
+        assert split.n_stages == 3
+        kinds = [(t.kind, t.stage) for t in split.tasks]
+        # F0, F1, FLB2, B1, B0 — Figure 3's f1 f2 f3b3 b2 b1
+        assert kinds == [
+            ("fwd", 0), ("fwd", 1), ("fwd_loss_bwd", 2), ("bwd", 1), ("bwd", 0),
+        ]
+
+    def test_last_stage_fused(self):
+        body, *_ = _mlp_body(4)
+        split = split_stages(body)
+        assert split.fwd_task_of_stage[3] == split.bwd_task_of_stage[3]
+        assert split.tasks[split.fwd_task_of_stage[3]].kind == FUSED_KIND
+
+    def test_two_stage(self):
+        body, *_ = _mlp_body(2)
+        split = split_stages(body)
+        assert [(t.kind, t.stage) for t in split.tasks] == [
+            ("fwd", 0), ("fwd_loss_bwd", 1), ("bwd", 0),
+        ]
+
+    def test_no_yields_rejected(self):
+        def f(x):
+            return [ops.mean(x)]
+
+        from repro.ir.tracer import trace_flat
+
+        jaxpr, _ = trace_flat(f, [ir.ShapedArray((3,), ir.float32)])
+        with pytest.raises(ValueError):
+            split_stages(jaxpr)
+
+    def test_weight_grads_colocated_with_stage(self):
+        # dW_k must live in stage k's backward task, not all in B0 (the
+        # "same task of their operands" rule of §3.3).
+        body, params, X, Y = _mlp_body(3)
+        split = split_stages(body)
+        # Find which task produces each gradient output (first 3 outputs
+        # are grads for w0, w1, w2 in sorted key order).
+        producer = {}
+        for t in split.tasks:
+            for v in t.out_vars:
+                producer[id(v)] = t
+        g_tasks = [producer[id(a)] for a in split.body.outvars[:3]]
+        assert g_tasks[0].stage == 0 and g_tasks[0].kind == "bwd"
+        assert g_tasks[1].stage == 1 and g_tasks[1].kind == "bwd"
+        assert g_tasks[2].stage == 2 and g_tasks[2].kind == FUSED_KIND
+
+
+class TestTaskClosure:
+    def test_tasks_partition_all_eqns(self):
+        body, *_ = _mlp_body(3)
+        split = split_stages(body)
+        total = sum(t.jaxpr.n_eqns for t in split.tasks)
+        assert total == split.body.n_eqns
+
+    def test_task_jaxprs_valid(self):
+        body, *_ = _mlp_body(4)
+        split = split_stages(body)
+        for t in split.tasks:
+            ir.validate(t.jaxpr)
+
+    def test_producer_task_precedes_consumer(self):
+        body, *_ = _mlp_body(4)
+        split = split_stages(body)
+        producer = {}
+        for t in split.tasks:
+            for v in t.out_vars:
+                producer[id(v)] = t.index
+        for t in split.tasks:
+            for a in t.in_atoms:
+                if id(a) in producer:
+                    assert producer[id(a)] <= t.index
+
+    def test_semantics_preserved(self):
+        # Executing tasks in order == executing the body directly.
+        body, params, X, Y = _mlp_body(3, seed=7)
+        split = split_stages(body)
+        flat_args = [params[k] for k in sorted(params)] + [X, Y]
+        want = ir.eval_jaxpr(body, flat_args)
+
+        env = {id(v): val for v, val in zip(split.body.invars, flat_args)}
+        for t in split.tasks:
+            ins = [env[id(a)] if not hasattr(a, "value") else a.value for a in t.in_atoms]
+            outs = ir.eval_jaxpr(t.jaxpr, ins)
+            for v, val in zip(t.out_vars, outs):
+                env[id(v)] = val
+        got = [env[id(a)] if not hasattr(a, "value") else a.value for a in split.body.outvars]
+        for g, w in zip(got, want):
+            np.testing.assert_allclose(g, w, rtol=1e-6)
+
+    def test_interleaved_stage_count(self):
+        body, *_ = _mlp_body(6)
+        split = split_stages(body)
+        assert split.n_stages == 6
+        assert len(split.tasks) == 2 * 6 - 1
+
+    def test_yield_markers_stay_internal(self):
+        body, *_ = _mlp_body(3)
+        split = split_stages(body)
+        # each forward yield is claimed by its own stage's task
+        for t in split.tasks:
+            for eqn in t.jaxpr.eqns:
+                if eqn.prim.name == "pipeline_yield":
+                    d, i = eqn.params["direction"], eqn.params["index"]
+                    if d == "fwd":
+                        assert t.stage == i

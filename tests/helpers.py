@@ -1,0 +1,64 @@
+"""Shared test helpers: finite-difference gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.ir import tree_flatten, tree_unflatten, value_and_grad
+
+__all__ = ["numeric_grad", "check_grads", "rng"]
+
+
+def rng(seed: int = 0) -> np.random.RandomState:
+    """Deterministic RandomState for tests."""
+    return np.random.RandomState(seed)
+
+
+def numeric_grad(
+    f: Callable[..., float],
+    args: Sequence,
+    argnum: int = 0,
+    eps: float = 1e-3,
+) -> object:
+    """Central finite-difference gradient of scalar ``f`` w.r.t.
+    ``args[argnum]`` (a pytree of float arrays)."""
+    args = list(args)
+    leaves, tree = tree_flatten(args[argnum])
+    grads = []
+    for li, leaf in enumerate(leaves):
+        leaf = np.asarray(leaf, dtype=np.float64)
+        g = np.zeros_like(leaf)
+        it = np.nditer(leaf, flags=["multi_index"])
+        for _ in it:
+            idx = it.multi_index
+            d = np.zeros_like(leaf)
+            d[idx] = eps
+            def _with(delta):
+                new_leaves = list(leaves)
+                new_leaves[li] = np.asarray(leaf + delta, dtype=np.float32)
+                new_args = list(args)
+                new_args[argnum] = tree_unflatten(tree, new_leaves)
+                return float(f(*new_args))
+            g[idx] = (_with(d) - _with(-d)) / (2 * eps)
+        grads.append(g.astype(np.float32))
+    return tree_unflatten(tree, grads)
+
+
+def check_grads(
+    f: Callable[..., float],
+    args: Sequence,
+    argnum: int = 0,
+    atol: float = 2e-2,
+    rtol: float = 2e-2,
+    eps: float = 1e-3,
+) -> None:
+    """Assert AD gradient of ``f`` matches finite differences."""
+    _, ad = value_and_grad(f, argnums=argnum)(*args)
+    num = numeric_grad(f, args, argnum, eps=eps)
+    ad_leaves, _ = tree_flatten(ad)
+    num_leaves, _ = tree_flatten(num)
+    assert len(ad_leaves) == len(num_leaves)
+    for a, n in zip(ad_leaves, num_leaves):
+        np.testing.assert_allclose(np.asarray(a), n, atol=atol, rtol=rtol)

@@ -1,0 +1,104 @@
+"""Unit tests for dtype canonicalization, promotion, and abstract values."""
+
+import numpy as np
+import pytest
+
+from repro.ir import ShapedArray, abstractify, dtypes
+from repro.ir.avals import broadcast_shapes
+
+
+class TestDtypes:
+    def test_canonicalize_float64_down(self):
+        assert dtypes.canonicalize_dtype(np.float64) is dtypes.float32
+
+    def test_canonicalize_int64_down(self):
+        assert dtypes.canonicalize_dtype(np.int64) is dtypes.int32
+
+    def test_canonicalize_passthrough(self):
+        assert dtypes.canonicalize_dtype(dtypes.bfloat16) is dtypes.bfloat16
+
+    def test_canonicalize_bool(self):
+        assert dtypes.canonicalize_dtype(np.bool_) is dtypes.bool_
+
+    def test_canonicalize_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            dtypes.canonicalize_dtype(np.complex64)
+
+    def test_bfloat16_accounting_itemsize(self):
+        # bf16 computes in fp32 but is accounted at 2 bytes (paper trains BF16).
+        assert dtypes.bfloat16.np_dtype == np.float32
+        assert dtypes.bfloat16.itemsize == 2
+
+    def test_promotion_lattice(self):
+        assert dtypes.promote_types(dtypes.int32, dtypes.float32) is dtypes.float32
+        assert dtypes.promote_types(dtypes.bool_, dtypes.int32) is dtypes.int32
+        assert dtypes.promote_types(dtypes.bfloat16, dtypes.float32) is dtypes.float32
+
+    def test_promotion_same(self):
+        assert dtypes.promote_types(dtypes.bfloat16, dtypes.bfloat16) is dtypes.bfloat16
+
+    def test_promotion_unordered_halfs(self):
+        assert dtypes.promote_types(dtypes.float16, dtypes.bfloat16) is dtypes.float32
+
+    def test_is_float(self):
+        assert dtypes.is_float(dtypes.bfloat16)
+        assert not dtypes.is_float(dtypes.int32)
+
+
+class TestShapedArray:
+    def test_basic_props(self):
+        a = ShapedArray((4, 8), dtypes.float32)
+        assert a.ndim == 2
+        assert a.size == 32
+        assert a.nbytes == 128
+
+    def test_bf16_nbytes_logical(self):
+        a = ShapedArray((10,), dtypes.bfloat16)
+        assert a.nbytes == 20  # 2 bytes/elt even though storage is fp32
+
+    def test_scalar(self):
+        a = ShapedArray((), dtypes.float32)
+        assert a.size == 1 and a.ndim == 0
+
+    def test_update(self):
+        a = ShapedArray((4, 8), dtypes.float32)
+        b = a.update(shape=(2, 2))
+        assert b.shape == (2, 2) and b.dtype is dtypes.float32
+        c = a.update(dtype=dtypes.bfloat16)
+        assert c.shape == (4, 8) and c.dtype is dtypes.bfloat16
+
+    def test_hashable_equality(self):
+        assert ShapedArray((1, 2), dtypes.float32) == ShapedArray((1, 2), dtypes.float32)
+        assert hash(ShapedArray((1, 2), dtypes.float32)) == hash(ShapedArray((1, 2), dtypes.float32))
+
+    def test_repr(self):
+        assert repr(ShapedArray((3, 4), dtypes.float32)) == "float32[3,4]"
+
+
+class TestAbstractify:
+    def test_ndarray(self):
+        a = abstractify(np.zeros((2, 3), np.float32))
+        assert a == ShapedArray((2, 3), dtypes.float32)
+
+    def test_python_scalars(self):
+        assert abstractify(1.5).dtype is dtypes.float32
+        assert abstractify(2).dtype is dtypes.int32
+        assert abstractify(True).dtype is dtypes.bool_
+
+    def test_float64_canonicalized(self):
+        assert abstractify(np.zeros(3)).dtype is dtypes.float32
+
+
+class TestBroadcastShapes:
+    def test_simple(self):
+        assert broadcast_shapes((4, 1), (1, 5)) == (4, 5)
+
+    def test_scalar(self):
+        assert broadcast_shapes((), (3, 2)) == (3, 2)
+
+    def test_rank_extension(self):
+        assert broadcast_shapes((5,), (2, 5)) == (2, 5)
+
+    def test_incompatible(self):
+        with pytest.raises(ValueError):
+            broadcast_shapes((3,), (4,))

@@ -1,0 +1,241 @@
+"""Eager-mode numerical tests: every op against its NumPy reference."""
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.ir import dtypes, ops
+from tests.helpers import rng
+
+
+def _f32(*shape, seed=0):
+    return rng(seed).randn(*shape).astype(np.float32)
+
+
+class TestBinaryOps:
+    @pytest.mark.parametrize(
+        "op,ref",
+        [
+            (ops.add, np.add),
+            (ops.sub, np.subtract),
+            (ops.mul, np.multiply),
+            (ops.div, np.divide),
+            (ops.maximum, np.maximum),
+            (ops.minimum, np.minimum),
+        ],
+    )
+    def test_arith(self, op, ref):
+        x, y = _f32(3, 4, seed=1), _f32(3, 4, seed=2)
+        np.testing.assert_allclose(op(x, y), ref(x, y), rtol=1e-6)
+
+    def test_broadcasting(self):
+        x, y = _f32(3, 1), _f32(1, 4)
+        np.testing.assert_allclose(ops.add(x, y), x + y)
+
+    def test_scalar_lift(self):
+        x = _f32(2, 2)
+        np.testing.assert_allclose(ops.mul(x, 3.0), x * 3.0)
+
+    def test_pow(self):
+        x = np.abs(_f32(3)) + 0.1
+        np.testing.assert_allclose(ops.pow(x, 2.0), x ** 2.0, rtol=1e-6)
+
+    @pytest.mark.parametrize(
+        "op,ref",
+        [
+            (ops.greater, np.greater),
+            (ops.greater_equal, np.greater_equal),
+            (ops.less, np.less),
+            (ops.less_equal, np.less_equal),
+            (ops.equal, np.equal),
+            (ops.not_equal, np.not_equal),
+        ],
+    )
+    def test_comparisons_bool(self, op, ref):
+        x = np.array([1.0, 2.0, 3.0], np.float32)
+        y = np.array([2.0, 2.0, 2.0], np.float32)
+        out = op(x, y)
+        assert out.dtype == np.bool_
+        np.testing.assert_array_equal(out, ref(x, y))
+
+
+class TestUnaryOps:
+    @pytest.mark.parametrize(
+        "op,ref",
+        [
+            (ops.neg, np.negative),
+            (ops.exp, np.exp),
+            (ops.tanh, np.tanh),
+            (ops.sin, np.sin),
+            (ops.cos, np.cos),
+            (ops.abs_, np.abs),
+            (ops.sign, np.sign),
+            (ops.erf, special.erf),
+        ],
+    )
+    def test_unary(self, op, ref):
+        x = _f32(4, 3, seed=3)
+        np.testing.assert_allclose(op(x), ref(x), rtol=1e-5, atol=1e-6)
+
+    def test_log_sqrt_positive(self):
+        x = np.abs(_f32(5, seed=4)) + 0.5
+        np.testing.assert_allclose(ops.log(x), np.log(x), rtol=1e-6)
+        np.testing.assert_allclose(ops.sqrt(x), np.sqrt(x), rtol=1e-6)
+        np.testing.assert_allclose(ops.rsqrt(x), 1 / np.sqrt(x), rtol=1e-5)
+
+    def test_where(self):
+        c = np.array([True, False, True])
+        x, y = _f32(3, seed=5), _f32(3, seed=6)
+        np.testing.assert_allclose(ops.where(c, x, y), np.where(c, x, y))
+
+    def test_convert(self):
+        x = _f32(3)
+        out = ops.convert(x, dtypes.int32)
+        assert out.dtype == np.int32
+
+    def test_stop_gradient_identity(self):
+        x = _f32(3)
+        np.testing.assert_array_equal(ops.stop_gradient(x), x)
+
+
+class TestMatmul:
+    def test_2d(self):
+        x, y = _f32(3, 4, seed=7), _f32(4, 5, seed=8)
+        np.testing.assert_allclose(ops.matmul(x, y), x @ y, rtol=1e-5)
+
+    def test_batched(self):
+        x, y = _f32(2, 3, 4, seed=9), _f32(2, 4, 5, seed=10)
+        np.testing.assert_allclose(ops.matmul(x, y), x @ y, rtol=1e-5)
+
+    def test_batch_broadcast(self):
+        x, y = _f32(2, 3, 4, seed=11), _f32(4, 5, seed=12)
+        np.testing.assert_allclose(ops.matmul(x, y), x @ y, rtol=1e-5)
+
+    def test_contraction_mismatch(self):
+        with pytest.raises(ValueError):
+            ops.matmul(_f32(3, 4), _f32(5, 6))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            ops.matmul(_f32(4), _f32(4, 2))
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        x = _f32(2, 6)
+        np.testing.assert_array_equal(ops.reshape(x, (3, 4)), x.reshape(3, 4))
+
+    def test_reshape_minus_one(self):
+        x = _f32(2, 6)
+        assert ops.reshape(x, (4, -1)).shape == (4, 3)
+
+    def test_reshape_bad_size(self):
+        with pytest.raises(ValueError):
+            ops.reshape(_f32(2, 3), (4, 4))
+
+    def test_transpose(self):
+        x = _f32(2, 3, 4)
+        np.testing.assert_array_equal(ops.transpose(x, (2, 0, 1)), x.transpose(2, 0, 1))
+        np.testing.assert_array_equal(ops.transpose(x), x.T)
+
+    def test_broadcast_to(self):
+        x = _f32(1, 3)
+        np.testing.assert_array_equal(ops.broadcast_to(x, (4, 3)), np.broadcast_to(x, (4, 3)))
+
+    def test_expand_squeeze(self):
+        x = _f32(3, 4)
+        e = ops.expand_dims(x, 1)
+        assert e.shape == (3, 1, 4)
+        np.testing.assert_array_equal(ops.squeeze(e, 1), x)
+
+    def test_squeeze_non_unit_raises(self):
+        with pytest.raises(ValueError):
+            ops.squeeze(_f32(3, 4), 0)
+
+    def test_concatenate(self):
+        x, y = _f32(2, 3, seed=1), _f32(4, 3, seed=2)
+        np.testing.assert_array_equal(ops.concatenate([x, y], 0), np.concatenate([x, y], 0))
+
+    def test_concatenate_single(self):
+        x = _f32(2, 2)
+        assert ops.concatenate([x], 0) is x
+
+    def test_slice(self):
+        x = _f32(4, 6)
+        np.testing.assert_array_equal(ops.slice_(x, (1, 2), (3, 5)), x[1:3, 2:5])
+
+    def test_slice_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ops.slice_(_f32(3, 3), (0, 0), (4, 3))
+
+    def test_unslice_roundtrip(self):
+        g = _f32(2, 3)
+        out = ops.unslice(g, (4, 6), (1, 2))
+        assert out.shape == (4, 6)
+        np.testing.assert_array_equal(out[1:3, 2:5], g)
+        assert out.sum() == pytest.approx(g.sum(), rel=1e-5)
+
+    def test_iota(self):
+        np.testing.assert_array_equal(ops.iota(5), np.arange(5, dtype=np.int32))
+
+
+class TestGatherScatter:
+    def test_take_rows(self):
+        x = _f32(10, 4)
+        idx = np.array([3, 3, 0], np.int32)
+        np.testing.assert_array_equal(ops.take(x, idx), x[idx])
+
+    def test_take_2d_indices(self):
+        x = _f32(10, 4)
+        idx = np.array([[1, 2], [3, 4]], np.int32)
+        assert ops.take(x, idx).shape == (2, 2, 4)
+
+    def test_take_rejects_float_indices(self):
+        with pytest.raises(ValueError):
+            ops.take(_f32(4, 2), _f32(3))
+
+    def test_scatter_add_accumulates_duplicates(self):
+        idx = np.array([1, 1, 0], np.int32)
+        upd = np.ones((3, 2), np.float32)
+        out = ops.scatter_add(idx, upd, (4, 2))
+        np.testing.assert_array_equal(out[1], [2.0, 2.0])
+        np.testing.assert_array_equal(out[0], [1.0, 1.0])
+        np.testing.assert_array_equal(out[2], [0.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        x = _f32(3, 4)
+        np.testing.assert_allclose(ops.reduce_sum(x), x.sum(), rtol=1e-6)
+
+    def test_sum_axis_keepdims(self):
+        x = _f32(3, 4)
+        np.testing.assert_allclose(ops.reduce_sum(x, 0, keepdims=True), x.sum(0, keepdims=True), rtol=1e-6)
+
+    def test_sum_negative_axis(self):
+        x = _f32(3, 4)
+        np.testing.assert_allclose(ops.reduce_sum(x, -1), x.sum(-1), rtol=1e-6)
+
+    def test_max(self):
+        x = _f32(3, 4)
+        np.testing.assert_allclose(ops.reduce_max(x, 1), x.max(1))
+
+    def test_mean(self):
+        x = _f32(3, 4)
+        np.testing.assert_allclose(ops.mean(x, 0), x.mean(0), rtol=1e-6)
+
+
+class TestGetitemHelpers:
+    def test_shape_of(self):
+        assert ops.shape_of(np.zeros((2, 3))) == (2, 3)
+        assert ops.shape_of(1.0) == ()
+
+    def test_unbroadcast_identity(self):
+        x = _f32(3, 4)
+        assert ops.unbroadcast(x, (3, 4)) is x
+
+    def test_unbroadcast_sums(self):
+        g = np.ones((5, 3, 4), np.float32)
+        out = ops.unbroadcast(g, (3, 1))
+        assert out.shape == (3, 1)
+        np.testing.assert_allclose(out, np.full((3, 1), 20.0))

@@ -1,0 +1,97 @@
+"""Tests for the pipeline_yield stage-marking primitive."""
+
+import numpy as np
+
+from repro import ir
+from repro.ir import ops, pipeline_yield
+from repro.ir.pipeline import BWD, FWD
+from tests.helpers import check_grads, rng
+
+
+def _f32(*shape, seed=0):
+    return rng(seed).randn(*shape).astype(np.float32)
+
+
+def _yields(jaxpr):
+    return [e for e in jaxpr.eqns if e.prim.name == "pipeline_yield"]
+
+
+class TestEagerSemantics:
+    def test_identity_outside_trace(self):
+        x = _f32(3)
+        assert pipeline_yield(x) is x
+
+    def test_pytree_identity(self):
+        t = {"a": _f32(2), "b": (_f32(3),)}
+        out = pipeline_yield(t)
+        assert out["a"] is t["a"]
+
+
+class TestMarkers:
+    def test_indices_assigned_in_call_order(self):
+        def f(x):
+            a = pipeline_yield(ops.mul(x, 2.0))
+            b = pipeline_yield(ops.add(a, 1.0))
+            return b.sum()
+
+        jaxpr, _, _ = ir.trace(f, _f32(3))
+        ys = _yields(jaxpr)
+        assert [y.params["index"] for y in ys] == [0, 1]
+        assert all(y.params["direction"] == FWD for y in ys)
+
+    def test_pytree_leaves_share_index(self):
+        def f(x):
+            pair = pipeline_yield((ops.mul(x, 2.0), ops.mul(x, 3.0)))
+            return ops.add(pair[0], pair[1]).sum()
+
+        jaxpr, _, _ = ir.trace(f, _f32(3))
+        ys = _yields(jaxpr)
+        assert len(ys) == 2
+        assert ys[0].params["index"] == ys[1].params["index"] == 0
+
+    def test_backward_markers_mirror_forward(self):
+        def loss(w, x):
+            h = pipeline_yield(ops.matmul(x, w))
+            h = pipeline_yield(ops.tanh(h))
+            return (h ** 2.0).sum()
+
+        w, x = _f32(3, 3, seed=1), _f32(2, 3, seed=2)
+        jaxpr, _, _ = ir.trace(lambda w, x: ir.value_and_grad(loss)(w, x), w, x)
+        ys = _yields(jaxpr)
+        fwd = [y.params["index"] for y in ys if y.params["direction"] == FWD]
+        bwd = [y.params["index"] for y in ys if y.params["direction"] == BWD]
+        assert fwd == [0, 1]
+        assert bwd == [1, 0]  # reverse order
+
+    def test_gradient_value_unaffected_by_yields(self):
+        def plain(w, x):
+            h = ops.matmul(x, w)
+            h = ops.tanh(h)
+            return (h ** 2.0).sum()
+
+        def marked(w, x):
+            h = pipeline_yield(ops.matmul(x, w))
+            h = pipeline_yield(ops.tanh(h))
+            return (h ** 2.0).sum()
+
+        w, x = _f32(3, 3, seed=3), _f32(2, 3, seed=4)
+        _, g0 = ir.value_and_grad(plain)(w, x)
+        _, g1 = ir.value_and_grad(marked)(w, x)
+        np.testing.assert_allclose(g0, g1, rtol=1e-6)
+        check_grads(marked, [w, x])
+
+    def test_multiple_grad_calls_restart_indices(self):
+        def loss(w, x):
+            return pipeline_yield(ops.matmul(x, w)).sum()
+
+        w, x = _f32(2, 2, seed=5), _f32(2, 2, seed=6)
+
+        def step(w, x):
+            _, g1 = ir.value_and_grad(loss)(w, x)
+            _, g2 = ir.value_and_grad(loss)(w, x)
+            return ops.add(g1, g2).sum()
+
+        jaxpr, _, _ = ir.trace(step, w, x)
+        idxs = [y.params["index"] for y in _yields(jaxpr) if y.params["direction"] == FWD]
+        # each value_and_grad call traces in a fresh sub-trace: indices restart
+        assert idxs == [0, 0]

@@ -1,0 +1,112 @@
+"""Hypothesis property tests on the IR: algebraic identities, gradient
+linearity, shape-op roundtrips, and trace/eval equivalence."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ir
+from repro.ir import ops
+
+SETTINGS = dict(max_examples=30, deadline=None)
+
+
+def arrays(max_side=4, min_dims=1, max_dims=3):
+    return st.integers(1, max_side).flatmap(
+        lambda _: st.lists(st.integers(1, max_side), min_size=min_dims, max_size=max_dims)
+    ).flatmap(
+        lambda shape: st.builds(
+            lambda seed: np.random.RandomState(seed).randn(*shape).astype(np.float32),
+            st.integers(0, 2**31 - 1),
+        )
+    )
+
+
+class TestAlgebraicIdentities:
+    @given(x=arrays())
+    @settings(**SETTINGS)
+    def test_add_neg_is_zero(self, x):
+        np.testing.assert_allclose(ops.add(x, ops.neg(x)), np.zeros_like(x), atol=1e-6)
+
+    @given(x=arrays())
+    @settings(**SETTINGS)
+    def test_exp_log_roundtrip(self, x):
+        pos = np.abs(x) + 0.5
+        np.testing.assert_allclose(ops.exp(ops.log(pos)), pos, rtol=1e-5)
+
+    @given(x=arrays(max_dims=2), seed=st.integers(0, 1000))
+    @settings(**SETTINGS)
+    def test_transpose_involution(self, x, seed):
+        perm = np.random.RandomState(seed).permutation(x.ndim)
+        t = ops.transpose(ops.transpose(x, perm), np.argsort(perm))
+        np.testing.assert_array_equal(t, x)
+
+    @given(x=arrays())
+    @settings(**SETTINGS)
+    def test_reshape_flat_roundtrip(self, x):
+        flat = ops.reshape(x, (-1,))
+        np.testing.assert_array_equal(ops.reshape(flat, x.shape), x)
+
+    @given(x=arrays())
+    @settings(**SETTINGS)
+    def test_sum_matches_numpy(self, x):
+        np.testing.assert_allclose(ops.reduce_sum(x), x.sum(), rtol=1e-4, atol=1e-4)
+
+
+class TestTraceEvalEquivalence:
+    @given(x=arrays(), y_seed=st.integers(0, 1000))
+    @settings(**SETTINGS)
+    def test_traced_equals_eager(self, x, y_seed):
+        y = np.random.RandomState(y_seed).randn(*x.shape).astype(np.float32)
+
+        def f(x, y):
+            return ops.tanh(ops.add(ops.mul(x, y), ops.exp(ops.neg(ops.abs_(x))))).sum()
+
+        jaxpr, _, _ = ir.trace(f, x, y)
+        ir.validate(jaxpr)
+        np.testing.assert_allclose(ir.eval_jaxpr(jaxpr, [x, y])[0], f(x, y), rtol=1e-5)
+
+    @given(x=arrays())
+    @settings(**SETTINGS)
+    def test_dce_preserves_semantics(self, x):
+        def f(x):
+            dead = ops.exp(x)  # noqa: F841
+            live = ops.tanh(x)
+            return live.sum()
+
+        jaxpr, _, _ = ir.trace(f, x)
+        pruned = ir.dce(jaxpr)
+        assert pruned.n_eqns < jaxpr.n_eqns
+        np.testing.assert_allclose(
+            ir.eval_jaxpr(pruned, [x])[0], ir.eval_jaxpr(jaxpr, [x])[0], rtol=1e-6
+        )
+
+
+class TestGradientProperties:
+    @given(x=arrays())
+    @settings(**SETTINGS)
+    def test_grad_of_sum_is_ones(self, x):
+        g = ir.grad(lambda x: x.sum())(x)
+        np.testing.assert_allclose(g, np.ones_like(x))
+
+    @given(x=arrays(), a=st.floats(-2, 2), b=st.floats(-2, 2))
+    @settings(**SETTINGS)
+    def test_grad_linearity(self, x, a, b):
+        # grad(a*f + b*g) == a*grad(f) + b*grad(g)
+        f = lambda x: ops.tanh(x).sum()
+        g = lambda x: (x ** 2.0).sum()
+        combined = ir.grad(lambda x: ops.add(ops.mul(a, f(x)), ops.mul(b, g(x))))(x)
+        expected = a * np.asarray(ir.grad(f)(x)) + b * np.asarray(ir.grad(g)(x))
+        np.testing.assert_allclose(combined, expected, rtol=1e-4, atol=1e-5)
+
+    @given(x=arrays())
+    @settings(**SETTINGS)
+    def test_grad_of_quadratic(self, x):
+        g = ir.grad(lambda x: (x ** 2.0).sum())(x)
+        np.testing.assert_allclose(g, 2 * x, rtol=1e-5)
+
+    @given(x=arrays(max_dims=2))
+    @settings(**SETTINGS)
+    def test_stop_gradient_zeroes(self, x):
+        g = ir.grad(lambda x: ops.stop_gradient(x ** 2.0).sum())(x)
+        np.testing.assert_allclose(g, np.zeros_like(x))

@@ -1,0 +1,203 @@
+"""Tests for the tracer: jaxpr construction, literals, free vars, DCE."""
+
+import numpy as np
+import pytest
+
+from repro import ir
+from repro.ir import ops
+from repro.ir.jaxpr import Literal, eqn_dependencies
+from repro.ir.tracer import trace_flat
+from tests.helpers import rng
+
+
+def _f32(*shape, seed=0):
+    return rng(seed).randn(*shape).astype(np.float32)
+
+
+class TestTrace:
+    def test_simple_structure(self):
+        def f(x, y):
+            return ops.add(ops.mul(x, y), 1.0)
+
+        jaxpr, _, _ = ir.trace(f, _f32(2), _f32(2))
+        assert [e.prim.name for e in jaxpr.eqns] == ["mul", "add"]
+        assert len(jaxpr.invars) == 2
+        ir.validate(jaxpr)
+
+    def test_literal_embedding(self):
+        def f(x):
+            return ops.add(x, 3.5)
+
+        jaxpr, _, _ = ir.trace(f, _f32(2))
+        lit = jaxpr.eqns[0].invars[1]
+        assert isinstance(lit, Literal)
+        assert float(np.asarray(lit.value)) == 3.5
+
+    def test_constant_output_is_literal(self):
+        def f(x):
+            return np.float32(7.0)
+
+        jaxpr, _, _ = ir.trace(f, _f32(2))
+        assert isinstance(jaxpr.outvars[0], Literal)
+
+    def test_eval_matches_eager(self):
+        def f(x, y):
+            return ops.tanh(ops.matmul(x, y)).sum()
+
+        x, y = _f32(3, 4, seed=1), _f32(4, 2, seed=2)
+        jaxpr, _, _ = ir.trace(f, x, y)
+        np.testing.assert_allclose(ir.eval_jaxpr(jaxpr, [x, y])[0], f(x, y), rtol=1e-6)
+
+    def test_pytree_args_and_outputs(self):
+        def f(params, batch):
+            h = ops.matmul(batch["x"], params["w"])
+            return {"out": h, "aux": (h.sum(),)}
+
+        params = {"w": _f32(3, 2)}
+        batch = {"x": _f32(4, 3)}
+        jaxpr, in_tree, out_tree = ir.trace(f, params, batch)
+        # flatten order follows the argument tuple: params leaves then batch
+        outs = ir.eval_jaxpr(jaxpr, [params["w"], batch["x"]])
+        rebuilt = ir.tree_unflatten(out_tree, outs)
+        assert set(rebuilt.keys()) == {"out", "aux"}
+
+    def test_operator_overloads(self):
+        def f(x, y):
+            return ((x + y) * 2.0 - y) / (x ** 2.0 + 1.0)
+
+        x, y = _f32(3, seed=3), _f32(3, seed=4)
+        jaxpr, _, _ = ir.trace(f, x, y)
+        np.testing.assert_allclose(ir.eval_jaxpr(jaxpr, [x, y])[0], f(x, y), rtol=1e-5)
+
+    def test_matmul_operator(self):
+        x, y = _f32(2, 3), _f32(3, 2)
+
+        def f(x, y):
+            return x @ y
+
+        jaxpr, _, _ = ir.trace(f, x, y)
+        assert jaxpr.eqns[0].prim.name == "matmul"
+
+    def test_getitem_int_and_slice(self):
+        x = _f32(4, 6)
+
+        def f(x):
+            return x[1, 2:5]
+
+        jaxpr, _, _ = ir.trace(f, x)
+        np.testing.assert_array_equal(ir.eval_jaxpr(jaxpr, [x])[0], x[1, 2:5])
+
+    def test_tracer_bool_raises(self):
+        def f(x):
+            if x.sum() > 0:  # traced comparison used in Python control flow
+                return x
+            return x
+
+        with pytest.raises(TypeError):
+            ir.trace(f, _f32(3))
+
+    def test_trace_shape_properties(self):
+        def f(x):
+            assert x.shape == (3, 4)
+            assert x.ndim == 2
+            assert len(x) == 3
+            return x.sum()
+
+        ir.trace(f, _f32(3, 4))
+
+
+class TestFreeVars:
+    def test_closure_lifting(self):
+        x = _f32(3, seed=5)
+
+        def outer(a):
+            # inner trace closes over tracer `a`
+            def inner(b):
+                return [ops.add(a, b)]
+
+            jaxpr, free = trace_flat(inner, [ir.abstractify(x)])
+            assert len(free) == 1  # `a` lifted
+            assert len(jaxpr.invars) == 2
+            return ir.eval_jaxpr(jaxpr, [a, free[0]])[0]
+
+        jaxpr, _, _ = ir.trace(outer, x)
+        np.testing.assert_allclose(ir.eval_jaxpr(jaxpr, [x])[0], x + x)
+
+    def test_free_var_dedup(self):
+        x = _f32(2)
+
+        def outer(a):
+            def inner(b):
+                return [ops.add(ops.add(a, b), a)]  # `a` used twice
+
+            jaxpr, free = trace_flat(inner, [ir.abstractify(x)])
+            assert len(free) == 1
+            return ir.eval_jaxpr(jaxpr, [a, free[0]])[0]
+
+        ir.trace(outer, x)
+
+    def test_trace_rejects_open_function(self):
+        captured = {}
+
+        def f(x):
+            captured["x"] = x
+            return x.sum()
+
+        ir.trace(f, _f32(2))
+
+        def g(y):
+            return ops.add(y, captured["x"]).sum()  # leaked tracer
+
+        with pytest.raises(ValueError):
+            ir.trace(g, _f32(2))
+
+
+class TestValidateDce:
+    def test_validate_catches_undefined(self):
+        def f(x):
+            return ops.mul(x, 2.0)
+
+        jaxpr, _, _ = ir.trace(f, _f32(2))
+        # Corrupt: drop the defining equation.
+        bad = ir.Jaxpr(jaxpr.invars, [], jaxpr.outvars)
+        with pytest.raises(ValueError):
+            ir.validate(bad)
+
+    def test_dce_removes_dead(self):
+        def f(x):
+            dead = ops.exp(x)  # noqa: F841 unused on purpose
+            return ops.mul(x, 2.0)
+
+        jaxpr, _, _ = ir.trace(f, _f32(2))
+        pruned = ir.dce(jaxpr)
+        assert pruned.n_eqns == 1
+        assert pruned.eqns[0].prim.name == "mul"
+        ir.validate(pruned)
+
+    def test_dce_keeps_live_chain(self):
+        def f(x):
+            a = ops.exp(x)
+            b = ops.log(a)
+            return b.sum()
+
+        jaxpr, _, _ = ir.trace(f, _f32(2))
+        assert ir.dce(jaxpr).n_eqns == jaxpr.n_eqns
+
+    def test_eqn_dependencies(self):
+        def f(x):
+            a = ops.exp(x)
+            b = ops.neg(x)
+            return ops.add(a, b)
+
+        jaxpr, _, _ = ir.trace(f, _f32(2))
+        deps = eqn_dependencies(jaxpr.eqns)
+        assert deps[0] == set() and deps[1] == set()
+        assert deps[2] == {0, 1}
+
+    def test_pretty_print_runs(self):
+        def f(x):
+            return ops.add(x, 1.0)
+
+        jaxpr, _, _ = ir.trace(f, _f32(2))
+        s = ir.pretty_print(jaxpr)
+        assert "add" in s and "lambda" in s

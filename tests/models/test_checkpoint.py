@@ -1,0 +1,93 @@
+"""Checkpoint round-trip tests, including resuming distributed training."""
+
+import numpy as np
+import pytest
+
+from repro import core, ir
+from repro.ir import nn, ops, pipeline_yield
+from repro.models import TrainState, adam_apply, adam_init
+from repro.models.checkpoint import load_checkpoint, save_checkpoint
+from tests.helpers import rng
+
+
+class TestRoundTrip:
+    def test_plain_pytree(self, tmp_path):
+        state = {"a": np.arange(6, dtype=np.float32).reshape(2, 3),
+                 "b": [np.float32(1.5), None],
+                 "c": (np.int32(7),)}
+        p = tmp_path / "ckpt.npz"
+        save_checkpoint(p, state)
+        out = load_checkpoint(p)
+        np.testing.assert_array_equal(out["a"], state["a"])
+        assert out["b"][1] is None
+        assert out["c"][0] == 7
+
+    def test_train_state_dataclass(self, tmp_path):
+        params = {"w": rng(0).randn(3, 3).astype(np.float32)}
+        state = TrainState(params, adam_init(params), np.int32(5))
+        p = tmp_path / "state.npz"
+        save_checkpoint(p, state)
+        out = load_checkpoint(p)
+        assert isinstance(out, TrainState)
+        assert int(out.step) == 5
+        np.testing.assert_array_equal(out.params["w"], params["w"])
+        np.testing.assert_array_equal(out.opt_state["m"]["w"], np.zeros((3, 3)))
+
+    def test_corrupt_structure_rejected(self, tmp_path):
+        import json
+
+        p = tmp_path / "bad.npz"
+        np.savez(p, __structure__=np.frombuffer(
+            json.dumps({"kind": "evil", "meta": None, "children": []}).encode(),
+            dtype=np.uint8))
+        with pytest.raises(ValueError, match="unknown node kind"):
+            load_checkpoint(p)
+
+
+class TestResumeTraining:
+    def test_resume_matches_uninterrupted_run(self, tmp_path):
+        r = rng(1)
+        d, n_mbs, mbsz = 4, 4, 6
+        params = {"w0": (r.randn(d, d) * 0.4).astype(np.float32),
+                  "w1": (r.randn(d, d) * 0.4).astype(np.float32)}
+
+        def loss_fn(p, mb):
+            x, y = mb
+            h = pipeline_yield(nn.relu(ops.matmul(x, p["w0"])))
+            return ops.mean((ops.matmul(h, p["w1"]) - y) ** 2.0)
+
+        def train_step(state, batch):
+            def mg(mb):
+                loss, grads = ir.value_and_grad(loss_fn)(state.params, mb)
+                return grads, loss
+
+            grads, loss = core.accumulate_grads(mg, None)(batch)
+            return adam_apply(state, grads, np.float32(1e-2)), loss
+
+        batches = [
+            (r.randn(n_mbs, mbsz, d).astype(np.float32),
+             r.randn(n_mbs, mbsz, d).astype(np.float32))
+            for _ in range(4)
+        ]
+        mesh = core.RemoteMesh((2,))
+        step = mesh.distributed(train_step, schedule=core.OneFOneB(2))
+
+        # uninterrupted
+        s = TrainState(params, adam_init(params), np.int32(0))
+        for b in batches:
+            s, _ = step(s, b)
+
+        # interrupted after 2 steps, checkpointed, resumed in a new step fn
+        s2 = TrainState(params, adam_init(params), np.int32(0))
+        for b in batches[:2]:
+            s2, _ = step(s2, b)
+        ck = tmp_path / "resume.npz"
+        save_checkpoint(ck, s2)
+        s3 = load_checkpoint(ck)
+        step2 = core.RemoteMesh((2,)).distributed(train_step, schedule=core.OneFOneB(2))
+        for b in batches[2:]:
+            s3, _ = step2(s3, b)
+
+        assert int(s3.step) == int(s.step) == 4
+        for k in params:
+            np.testing.assert_allclose(s3.params[k], s.params[k], atol=1e-6)

@@ -1,0 +1,206 @@
+"""Tests for the example models, optimizers, data generators, and viz."""
+
+import numpy as np
+import pytest
+
+from repro import ir, core, spmd
+from repro.data import microbatch, regression_batches, token_batches
+from repro.models import (
+    TrainState,
+    TransformerConfig,
+    adam_apply,
+    adam_init,
+    constant_lr,
+    ffn,
+    init_mlp,
+    init_transformer,
+    mlp_forward,
+    mlp_loss,
+    sgd_apply,
+    sgd_init,
+    transformer_forward,
+    transformer_loss,
+    warmup_cosine_lr,
+)
+from repro.viz import render_schedule, render_timeline
+from tests.helpers import check_grads, rng
+
+
+class TestMlp:
+    def test_figure1_ffn_runs_single_device(self):
+        r = rng(0)
+        X = r.randn(4, 6).astype(np.float32)
+        W1 = r.randn(6, 8).astype(np.float32)
+        W2 = r.randn(8, 6).astype(np.float32)
+        out = ffn(X, W1, W2)
+        np.testing.assert_allclose(out, np.maximum(X @ W1, 0) @ W2, atol=1e-5)
+
+    def test_ffn_figure1c_instantiations(self):
+        r = rng(1)
+        X = r.randn(4, 6).astype(np.float32)
+        W1 = r.randn(6, 8).astype(np.float32)
+        W2 = r.randn(8, 6).astype(np.float32)
+        jaxpr, _, _ = ir.trace(ffn, X, W1, W2)
+        for axes in ([("data", 2), ("model", 1)], [("data", 1), ("model", 2)]):
+            mesh = spmd.Mesh(axes)
+            prog = spmd.partition(jaxpr, mesh,
+                                  in_specs=[("batch", "emb"), ("emb", "mlp"), ("mlp", "emb")],
+                                  rules={"batch": "data", "mlp": "model", "emb": None})
+            out = spmd.SpmdExecutor(mesh).run(prog, [X, W1, W2])[0]
+            np.testing.assert_allclose(out, ffn(X, W1, W2), atol=1e-5)
+
+    def test_mlp_stage_structure(self):
+        params = init_mlp(rng(2), 3, 4, 8, 2)
+        x = rng(3).randn(5, 4).astype(np.float32)
+        jaxpr, _, _ = ir.trace(lambda p, x: mlp_forward(p, x, 3), params, x)
+        yields = [e for e in jaxpr.eqns if e.prim.name == "pipeline_yield"]
+        assert len(yields) == 2
+
+    def test_mlp_loss_grads(self):
+        params = init_mlp(rng(4), 2, 4, 6, 3)
+        x = rng(5).randn(5, 4).astype(np.float32)
+        y = rng(6).randn(5, 3).astype(np.float32)
+        check_grads(lambda p: mlp_loss(p, (x, y), 2), [params])
+
+
+class TestTransformer:
+    CFG = TransformerConfig(vocab=16, seq=6, d_model=8, n_heads=2, d_ff=16,
+                            n_layers=2, n_stages=2)
+
+    def test_forward_shape(self):
+        p = init_transformer(rng(7), self.CFG)
+        tokens = rng(8).randint(0, 16, (3, 6)).astype(np.int32)
+        logits = transformer_forward(p, tokens, self.CFG)
+        assert logits.shape == (3, 6, 16)
+
+    def test_causality(self):
+        # changing a future token must not affect earlier logits
+        p = init_transformer(rng(9), self.CFG)
+        t1 = rng(10).randint(0, 16, (1, 6)).astype(np.int32)
+        t2 = t1.copy()
+        t2[0, -1] = (t2[0, -1] + 1) % 16
+        l1 = transformer_forward(p, t1, self.CFG)
+        l2 = transformer_forward(p, t2, self.CFG)
+        np.testing.assert_allclose(l1[0, :-1], l2[0, :-1], atol=1e-5)
+
+    def test_loss_grads_numeric(self):
+        p = init_transformer(rng(11), self.CFG)
+        tokens = rng(12).randint(0, 16, (2, 6)).astype(np.int32)
+        targets = rng(13).randint(0, 16, (2, 6)).astype(np.int32)
+        # subset of params for speed
+        sub = {k: p[k] for k in ["wte", "h0.mlp.wi", "ln_f.g"]}
+
+        def loss(sub_p):
+            full = dict(p, **sub_p)
+            return transformer_loss(full, (tokens, targets), self.CFG)
+
+        check_grads(loss, [sub], atol=5e-2, rtol=5e-2)
+
+    def test_tied_embeddings_have_no_wout(self):
+        cfg = TransformerConfig(vocab=16, seq=4, d_model=8, n_heads=2, d_ff=16,
+                                n_layers=2, n_stages=2, tie_embeddings=True)
+        p = init_transformer(rng(14), cfg)
+        assert "w_out" not in p
+
+    def test_bad_stage_split_rejected(self):
+        cfg = TransformerConfig(n_layers=4, n_stages=3)
+        with pytest.raises(ValueError):
+            _ = cfg.layers_per_stage
+
+
+class TestOptimizers:
+    def test_sgd_matches_manual(self):
+        p = {"w": np.ones(3, np.float32)}
+        g = {"w": np.full(3, 0.5, np.float32)}
+        s = TrainState(p, sgd_init(p), np.int32(0))
+        s2 = sgd_apply(s, g, np.float32(0.1))
+        np.testing.assert_allclose(s2.params["w"], 0.95)
+        assert int(s2.step) == 1
+
+    def test_sgd_momentum(self):
+        p = {"w": np.zeros(2, np.float32)}
+        g = {"w": np.ones(2, np.float32)}
+        s = TrainState(p, sgd_init(p, momentum=0.9), np.int32(0))
+        s = sgd_apply(s, g, np.float32(1.0), momentum=0.9)
+        s = sgd_apply(s, g, np.float32(1.0), momentum=0.9)
+        np.testing.assert_allclose(s.params["w"], -(1.0 + 1.9))
+
+    def test_adam_first_step_size(self):
+        p = {"w": np.zeros(2, np.float32)}
+        g = {"w": np.full(2, 0.3, np.float32)}
+        s = TrainState(p, adam_init(p), np.int32(0))
+        s = adam_apply(s, g, np.float32(1e-2))
+        # bias-corrected first step ~ lr * sign(g)
+        np.testing.assert_allclose(s.params["w"], -1e-2, rtol=1e-3)
+
+    def test_adam_traced_equals_eager(self):
+        p = {"w": rng(15).randn(3).astype(np.float32)}
+        g = {"w": rng(16).randn(3).astype(np.float32)}
+        s = TrainState(p, adam_init(p), np.int32(0))
+        eager = adam_apply(s, g, np.float32(1e-3))
+        jaxpr, _, out_tree = ir.trace(lambda s, g: adam_apply(s, g, np.float32(1e-3)), s, g)
+        flat, _ = ir.tree_flatten((s, g))
+        out = ir.tree_unflatten(out_tree, ir.eval_jaxpr(jaxpr, flat))
+        np.testing.assert_allclose(out.params["w"], eager.params["w"], rtol=1e-6)
+
+    def test_schedules(self):
+        const = constant_lr(0.1)
+        assert const(np.int32(5)) == pytest.approx(0.1)
+        wc = warmup_cosine_lr(1.0, 10, 110)
+        assert float(wc(np.int32(5))) == pytest.approx(0.5)
+        assert float(wc(np.int32(10))) == pytest.approx(1.0, abs=1e-3)
+        assert float(wc(np.int32(110))) == pytest.approx(0.0, abs=1e-5)
+        assert float(wc(np.int32(60))) == pytest.approx(0.5, abs=1e-2)
+
+
+class TestData:
+    def test_token_batches_shapes_and_range(self):
+        (tok, tgt), = token_batches(32, 8, 4, 2, 1, seed=1)
+        assert tok.shape == tgt.shape == (4, 2, 8)
+        assert tok.min() >= 0 and tok.max() < 32
+        np.testing.assert_array_equal(tok[..., 1:], tgt[..., :-1])
+
+    def test_token_batches_deterministic(self):
+        a = list(token_batches(16, 4, 2, 2, 2, seed=7))
+        b = list(token_batches(16, 4, 2, 2, 2, seed=7))
+        np.testing.assert_array_equal(a[0][0], b[0][0])
+        np.testing.assert_array_equal(a[1][1], b[1][1])
+
+    def test_regression_batches(self):
+        (x, y), = regression_batches(4, 3, 2, 5, 1, seed=2)
+        assert x.shape == (2, 5, 4) and y.shape == (2, 5, 3)
+        assert np.abs(y).max() < 1.5  # tanh teacher + small noise
+
+    def test_microbatch_reshape(self):
+        b = np.arange(12).reshape(6, 2)
+        mb = microbatch(b, 3)
+        assert mb.shape == (3, 2, 2)
+        np.testing.assert_array_equal(mb[1], b[2:4])
+
+    def test_microbatch_indivisible(self):
+        with pytest.raises(ValueError):
+            microbatch(np.zeros((5, 2)), 2)
+
+
+class TestViz:
+    def test_render_schedule_gpipe(self):
+        out = render_schedule(core.GPipe(2), 3)
+        assert "actor 0" in out and "actor 1" in out
+        assert "F0 F1 F2 b2 b1 b0" in out
+
+    def test_render_schedule_interleaved_chunks(self):
+        out = render_schedule(core.Interleaved1F1B(2, 2), 2)
+        assert "'1" in out  # chunk annotation
+
+    def test_render_timeline(self):
+        from repro.runtime.executor import TimelineEvent
+
+        evs = [
+            TimelineEvent(0, "task", "f0", 0.0, 1.0),
+            TimelineEvent(1, "task", "b0", 1.0, 2.0),
+        ]
+        out = render_timeline(evs, 2, width=20)
+        assert "actor 0" in out and "f" in out and "b" in out
+
+    def test_render_timeline_empty(self):
+        assert "empty" in render_timeline([], 2)

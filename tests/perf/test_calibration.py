@@ -1,0 +1,154 @@
+"""Calibration acceptance bands: the simulator against the paper's Table 1.
+
+Absolute-number equality is not the bar (the authors ran silicon, we run a
+model); the acceptance criteria are (a) every anchor within a stated band
+and (b) every qualitative relationship — orderings, crossovers, remat
+decisions — exact. These are the regression tests that keep the cost-model
+constants honest.
+"""
+
+import pytest
+
+from repro.perf import (
+    GPT3_175B,
+    LLAMA2_70B,
+    jax_fsdp,
+    jax_spmd_pp,
+    jaxpp,
+    nemo,
+)
+
+BAND = 0.12  # ±12% on step time
+
+
+class TestGpt3Anchors:
+    def test_jaxpp_64gpu(self):
+        r = jaxpp(GPT3_175B, pp=8, tp=8, dp=1, v=6, mbs=4, n_mbs=32)
+        assert r.step_time == pytest.approx(9.53, rel=BAND)
+        assert r.sim.remat.kind == "none"
+
+    @pytest.mark.parametrize("dp,step", [(2, 9.64), (4, 9.74), (16, 10.26)])
+    def test_jaxpp_scaling_rows(self, dp, step):
+        r = jaxpp(GPT3_175B, pp=8, tp=8, dp=dp, v=6, mbs=4, n_mbs=32)
+        assert r.step_time == pytest.approx(step, rel=BAND)
+
+    @pytest.mark.parametrize(
+        "gpus,gbs,group,step",
+        [(64, 128, 64, 10.63), (128, 256, 128, 10.70), (1024, 2048, 128, 11.30)],
+    )
+    def test_fsdp_rows(self, gpus, gbs, group, step):
+        r = jax_fsdp(GPT3_175B, gpus, gbs, fsdp_group=group)
+        assert r.step_time == pytest.approx(step, rel=BAND)
+
+    def test_spmd_pp_row(self):
+        r = jax_spmd_pp(GPT3_175B, pp=16, tp=4, dp=2, mbs=1, n_mbs=128)
+        assert r.step_time == pytest.approx(13.96, rel=BAND)
+        assert r.sim.remat.kind == "full"
+
+    def test_nemo_row(self):
+        r = nemo(GPT3_175B, pp=8, tp=4, dp=4, v=2, mbs=1, n_mbs=64)
+        assert r.step_time == pytest.approx(9.78, rel=BAND)
+        assert r.reported_tflops == pytest.approx(500, rel=BAND)
+
+
+class TestLlamaAnchors:
+    def test_jaxpp(self):
+        r = jaxpp(LLAMA2_70B, pp=4, tp=8, dp=2, v=5, mbs=4, n_mbs=16)
+        assert r.step_time == pytest.approx(8.42, rel=BAND)
+
+    def test_fsdp(self):
+        r = jax_fsdp(LLAMA2_70B, 64, 128, fsdp_group=64)
+        assert r.step_time == pytest.approx(8.44, rel=BAND)
+
+    def test_nemo(self):
+        r = nemo(LLAMA2_70B, pp=4, tp=4, dp=4, v=4, mbs=1, n_mbs=32)
+        assert r.step_time == pytest.approx(7.02, rel=BAND)
+
+
+class TestQualitativeRelationships:
+    """The shape claims of §5 — these must hold exactly."""
+
+    def test_fig9_gpt3_ordering(self):
+        spmd = jax_spmd_pp(GPT3_175B, pp=16, tp=4, dp=2, mbs=1, n_mbs=128)
+        fsdp = jax_fsdp(GPT3_175B, 128, 256, fsdp_group=128)
+        jx = jaxpp(GPT3_175B, pp=8, tp=8, dp=2, v=6, mbs=4, n_mbs=32)
+        nm = nemo(GPT3_175B, pp=8, tp=4, dp=4, v=2, mbs=1, n_mbs=64)
+        # SPMD PP << FSDP < JaxPP (model TFLOPS); NeMo tops the reported bars
+        assert spmd.tflops < fsdp.tflops < jx.tflops
+        assert nm.reported_tflops > jx.tflops
+
+    def test_jaxpp_beats_spmd_pp_by_large_factor(self):
+        # "44.6% faster than SPMD pipeline parallelism" (§5.2)
+        spmd = jax_spmd_pp(GPT3_175B, pp=16, tp=4, dp=2, mbs=1, n_mbs=128)
+        jx = jaxpp(GPT3_175B, pp=8, tp=8, dp=2, v=6, mbs=4, n_mbs=32)
+        speedup = spmd.step_time / jx.step_time
+        assert speedup == pytest.approx(1.446, rel=0.15)
+
+    def test_jaxpp_improves_over_fsdp_about_1_11x(self):
+        fsdp = jax_fsdp(GPT3_175B, 128, 256, fsdp_group=128)
+        jx = jaxpp(GPT3_175B, pp=8, tp=8, dp=2, v=6, mbs=4, n_mbs=32)
+        assert jx.tflops / fsdp.tflops == pytest.approx(1.11, abs=0.05)
+
+    def test_fig9_llama_jaxpp_matches_fsdp(self):
+        jx = jaxpp(LLAMA2_70B, pp=4, tp=8, dp=2, v=5, mbs=4, n_mbs=16)
+        fsdp = jax_fsdp(LLAMA2_70B, 64, 128, fsdp_group=64)
+        assert jx.tflops == pytest.approx(fsdp.tflops, rel=0.06)
+
+    def test_fig9_llama_nemo_fastest(self):
+        jx = jaxpp(LLAMA2_70B, pp=4, tp=8, dp=2, v=5, mbs=4, n_mbs=16)
+        nm = nemo(LLAMA2_70B, pp=4, tp=4, dp=4, v=4, mbs=1, n_mbs=32)
+        assert nm.step_time < jx.step_time
+        ratio = jx.tflops / nm.tflops
+        assert ratio == pytest.approx(0.832, abs=0.08)  # "83.2% of NeMo"
+
+    def test_fig10_remat_dominates_spmd_pp_gap(self):
+        spmd = jax_spmd_pp(GPT3_175B, pp=16, tp=4, dp=2, mbs=1, n_mbs=128)
+        jx = jaxpp(GPT3_175B, pp=8, tp=8, dp=2, v=6, mbs=4, n_mbs=32)
+        assert spmd.breakdown["remat"] > 0
+        assert jx.breakdown["remat"] == 0.0
+        # remat accounts for roughly the ~20% step-time effect of §5.3
+        assert spmd.breakdown["remat"] / spmd.step_time == pytest.approx(0.20, abs=0.07)
+
+    def test_fig8_weak_scaling_efficiencies(self):
+        j64 = jaxpp(GPT3_175B, pp=8, tp=8, dp=1, v=6, mbs=4, n_mbs=32)
+        j1024 = jaxpp(GPT3_175B, pp=8, tp=8, dp=16, v=6, mbs=4, n_mbs=32)
+        f64 = jax_fsdp(GPT3_175B, 64, 128, fsdp_group=64)
+        f1024 = jax_fsdp(GPT3_175B, 1024, 2048, fsdp_group=128)
+        jaxpp_eff = j1024.tflops / j64.tflops
+        fsdp_eff = f1024.tflops / f64.tflops
+        assert jaxpp_eff == pytest.approx(0.9287, abs=0.035)
+        assert fsdp_eff == pytest.approx(0.9397, abs=0.035)
+        # JaxPP delivers higher absolute throughput at every scale
+        assert j64.tflops > f64.tflops
+        assert j1024.tflops > f1024.tflops
+
+    def test_fig6_optimum_at_circ6(self):
+        by_v = {
+            v: jaxpp(GPT3_175B, pp=8, tp=8, dp=1, v=v, mbs=2, n_mbs=64).tflops
+            for v in (1, 2, 3, 6, 12)
+        }
+        best = max(by_v, key=by_v.get)
+        assert best in (3, 6)  # peak in the middle of the sweep
+        assert by_v[6] > by_v[1]
+        assert by_v[12] <= by_v[6]  # dispatch overhead bites eventually
+
+    def test_fig6_mbs1_degrades_at_high_circ(self):
+        a = jaxpp(GPT3_175B, pp=8, tp=8, dp=1, v=3, mbs=1, n_mbs=128).tflops
+        b = jaxpp(GPT3_175B, pp=8, tp=8, dp=1, v=12, mbs=1, n_mbs=128).tflops
+        assert b < a
+
+    def test_fig7_throughput_rises_and_saturates(self):
+        tf = [
+            jaxpp(GPT3_175B, pp=8, tp=8, dp=1, v=6, mbs=2, n_mbs=m).tflops
+            for m in (8, 32, 128, 512)
+        ]
+        assert tf[0] < tf[1] < tf[2] < tf[3]
+        # saturation: the last doubling gains far less than the first
+        assert (tf[3] - tf[2]) < 0.25 * (tf[1] - tf[0])
+
+    def test_fig7_mbs_ordering_at_saturation(self):
+        r = {
+            mbs: jaxpp(GPT3_175B, pp=8, tp=8, dp=1, v=6, mbs=mbs, n_mbs=256).tflops
+            for mbs in (1, 2, 4)
+        }
+        assert r[1] < r[2] < r[4]

@@ -1,0 +1,130 @@
+"""Unit tests for kernels, memory, comms, and the cluster substrate."""
+
+import pytest
+
+from repro.cluster import DGX_H100, EOS, H100_SXM, Topology
+from repro.perf import comms
+from repro.perf.kernels import JAX_KERNELS, NEMO_KERNELS
+from repro.perf.memory import decide_remat, weights_optimizer_bytes
+from repro.perf.transformer import GPT3_175B, LLAMA2_70B
+
+
+class TestClusterSpecs:
+    def test_h100_peak(self):
+        assert H100_SXM.peak_flops == pytest.approx(989.4e12)
+
+    def test_eos_size(self):
+        assert EOS.n_gpus == 4608
+
+    def test_topology_links(self):
+        topo = Topology(cluster=EOS, gpus_per_actor=8)
+        assert topo.actors_per_node == 1
+        assert topo.link(0, 0).kind == "self"
+        assert topo.link(0, 1).kind == "ib"
+        # two actors per node when TP=4
+        topo4 = Topology(cluster=EOS, gpus_per_actor=4)
+        assert topo4.link(0, 1).kind == "nvlink"
+        assert topo4.link(0, 2).kind == "ib"
+
+    def test_link_transfer_time(self):
+        topo = Topology(cluster=EOS, gpus_per_actor=8)
+        link = topo.link(0, 1)
+        assert link.transfer_time(50e9) == pytest.approx(1.0, rel=0.01)
+
+    def test_topology_validate(self):
+        topo = Topology(cluster=EOS, gpus_per_actor=8)
+        topo.validate(576)
+        with pytest.raises(ValueError):
+            topo.validate(577)
+
+
+class TestKernelModel:
+    def test_efficiency_rises_with_mbs(self):
+        e1 = JAX_KERNELS.efficiency(GPT3_175B, 1, 8)
+        e2 = JAX_KERNELS.efficiency(GPT3_175B, 2, 8)
+        e4 = JAX_KERNELS.efficiency(GPT3_175B, 4, 8)
+        assert e1 < e2 < e4 < JAX_KERNELS.base_eff
+
+    def test_sublinear_microbatch_time(self):
+        # the paper's t2 < 2*t1 observation (§5.1.1)
+        t1 = JAX_KERNELS.block_time(GPT3_175B, H100_SXM, 1, 1, 8)
+        t2 = JAX_KERNELS.block_time(GPT3_175B, H100_SXM, 1, 2, 8)
+        assert t2 < 2 * t1
+
+    def test_bwd_twice_fwd(self):
+        f = JAX_KERNELS.block_time(GPT3_175B, H100_SXM, 2, 2, 8, "fwd")
+        b = JAX_KERNELS.block_time(GPT3_175B, H100_SXM, 2, 2, 8, "bwd")
+        assert b == pytest.approx(2 * f)
+
+    def test_nemo_flatter_at_small_mbs(self):
+        jax_ratio = JAX_KERNELS.efficiency(GPT3_175B, 1, 4) / JAX_KERNELS.efficiency(GPT3_175B, 4, 4)
+        nemo_ratio = NEMO_KERNELS.efficiency(GPT3_175B, 1, 4) / NEMO_KERNELS.efficiency(GPT3_175B, 4, 4)
+        assert nemo_ratio > jax_ratio
+
+    def test_tp_narrowing_lowers_efficiency(self):
+        assert JAX_KERNELS.efficiency(GPT3_175B, 2, 8) >= JAX_KERNELS.efficiency(LLAMA2_70B, 1, 8)
+
+
+class TestMemoryModel:
+    def test_weight_bytes_gpt3_tp8_pp8(self):
+        w = weights_optimizer_bytes(GPT3_175B, pp=8, tp=8)
+        assert w == pytest.approx(175e9 / 64 * 16, rel=0.01)
+
+    def test_distributed_optimizer_shards(self):
+        full = weights_optimizer_bytes(GPT3_175B, 8, 4, opt_shard=1)
+        sharded = weights_optimizer_bytes(GPT3_175B, 8, 4, opt_shard=4)
+        assert sharded < full
+        assert sharded == pytest.approx(175e9 / 32 * (4 + 3), rel=0.01)
+
+    def test_jaxpp_config_needs_no_remat(self):
+        # the crux of §5.3: interleaved 1F1B keeps few microbatches live
+        d = decide_remat(GPT3_175B, H100_SXM, pp=8, tp=8, mbs=4,
+                         layers_per_device=12, peak_live_microbatches=9.0)
+        assert d.kind == "none" and d.fits
+
+    def test_gpipe_config_needs_full_remat(self):
+        # GPipe at GA 128: every microbatch's activations live at once
+        d = decide_remat(GPT3_175B, H100_SXM, pp=16, tp=4, mbs=1,
+                         layers_per_device=6, peak_live_microbatches=128)
+        assert d.kind == "full"
+        assert d.extra_fwd_fraction == 1.0
+        assert d.fits
+
+    def test_nemo_without_opt_sharding_would_not_fit(self):
+        no_shard = decide_remat(GPT3_175B, H100_SXM, pp=8, tp=4, mbs=1,
+                                layers_per_device=6, peak_live_microbatches=9, opt_shard=1)
+        sharded = decide_remat(GPT3_175B, H100_SXM, pp=8, tp=4, mbs=1,
+                               layers_per_device=6, peak_live_microbatches=9, opt_shard=4)
+        assert sharded.kind == "none"
+        assert no_shard.kind == "full" or not no_shard.fits
+
+
+class TestComms:
+    def test_ring_allreduce_formula(self):
+        t = comms.ring_allreduce_time(100e9, 4, 50e9, 0.0)
+        assert t == pytest.approx(2 * 3 / 4 * 2.0)
+
+    def test_ring_trivial_group(self):
+        assert comms.ring_allreduce_time(1e9, 1, 50e9, 1e-6) == 0.0
+
+    def test_tp_allreduce_scales_with_mbs(self):
+        t1 = comms.tp_allreduce_per_layer(GPT3_175B, DGX_H100, 1, 8, "fwd", 1e-5)
+        t4 = comms.tp_allreduce_per_layer(GPT3_175B, DGX_H100, 4, 8, "fwd", 1e-5)
+        assert t4 > t1
+        assert t4 < 4.5 * t1  # latency amortises
+
+    def test_tp1_is_free(self):
+        assert comms.tp_allreduce_per_layer(GPT3_175B, DGX_H100, 4, 1, "fwd", 1e-5) == 0.0
+
+    def test_stage_p2p_cross_vs_intra(self):
+        cross = comms.stage_p2p_time(GPT3_175B, DGX_H100, 4, 8, cross_node=True)
+        intra = comms.stage_p2p_time(GPT3_175B, DGX_H100, 4, 8, cross_node=False)
+        assert cross > intra
+
+    def test_dp_allreduce_grows_with_dp(self):
+        times = [
+            comms.dp_gradient_allreduce(GPT3_175B, DGX_H100, 8, 8, dp)
+            for dp in (1, 2, 4, 8, 16)
+        ]
+        assert times[0] == 0.0
+        assert all(a < b for a, b in zip(times[1:], times[2:]))

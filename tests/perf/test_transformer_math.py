@@ -1,0 +1,110 @@
+"""Model-arithmetic tests: parameter counts and the Table 1 metric.
+
+The strongest evidence the FLOP accounting is right: dividing the paper's
+printed step times into our model FLOPs reproduces the paper's printed
+TFLOPS/device for every row that uses model accounting.
+"""
+
+import pytest
+
+from repro.perf.transformer import (
+    GPT3_175B,
+    LLAMA2_70B,
+    ModelSpec,
+    model_flops_per_step,
+    tflops_per_device,
+)
+
+
+class TestParameterCounts:
+    def test_gpt3_is_175b(self):
+        assert GPT3_175B.total_params == pytest.approx(175e9, rel=0.01)
+
+    def test_llama2_is_70b(self):
+        assert LLAMA2_70B.total_params == pytest.approx(69e9, rel=0.01)
+
+    def test_gpt3_layer_params(self):
+        # 12 * h^2 + small norms
+        assert GPT3_175B.layer_params == pytest.approx(12 * 12288**2, rel=0.001)
+
+    def test_llama_gqa_reduces_kv(self):
+        full = LLAMA2_70B.hidden * LLAMA2_70B.hidden
+        kv = 2 * LLAMA2_70B.hidden * LLAMA2_70B.kv_heads * LLAMA2_70B.head_dim
+        assert kv == full // 4  # 8 of 64 heads -> 2*(1/8) = 1/4
+
+    def test_head_dim(self):
+        assert GPT3_175B.head_dim == 128
+        assert LLAMA2_70B.head_dim == 128
+
+
+class TestFlops:
+    def test_six_n_rule(self):
+        # fwd+bwd ~ 6 * params per token (plus attention quadratic)
+        tokens = 1_000_000
+        flops = 3 * GPT3_175B.fwd_flops(tokens)
+        six_n = 6 * GPT3_175B.total_params * tokens
+        assert flops == pytest.approx(six_n, rel=0.06)
+        assert flops > six_n  # the attention term adds on top
+
+    def test_fwd_flops_linear_in_tokens(self):
+        assert GPT3_175B.fwd_flops(2048) * 2 == pytest.approx(GPT3_175B.fwd_flops(4096))
+
+    def test_layer_split_sums(self):
+        t = 4096
+        total = GPT3_175B.layer_fwd_flops(t)
+        assert total == GPT3_175B.layer_matmul_flops(t) + GPT3_175B.layer_attn_flops(t)
+
+    def test_llama_attention_share_larger(self):
+        # longer sequences + smaller hidden => attention is a bigger share
+        def share(m: ModelSpec):
+            t = m.seq
+            return m.layer_attn_flops(t) / m.layer_fwd_flops(t)
+
+        assert share(LLAMA2_70B) > share(GPT3_175B)
+
+
+class TestTable1MetricDecoding:
+    """step_time x TFLOPS pairs from the paper's Table 1 must be consistent
+    with our FLOP accounting (the calibration anchor of the whole model)."""
+
+    @pytest.mark.parametrize(
+        "gbs,gpus,step,printed",
+        [
+            (128, 64, 9.53, 462),    # JaxPP
+            (256, 128, 9.64, 457),
+            (512, 256, 9.74, 452),
+            (1024, 512, 9.71, 454),
+            (2048, 1024, 10.26, 430),
+            (128, 64, 10.63, 415),   # JAX FSDP
+            (256, 128, 10.70, 412),
+            (2048, 1024, 11.30, 390),
+            (256, 128, 13.96, 316),  # JAX SPMD PP
+        ],
+    )
+    def test_gpt3_rows(self, gbs, gpus, step, printed):
+        got = tflops_per_device(GPT3_175B, gbs, step, gpus)
+        assert got == pytest.approx(printed, rel=0.01)
+
+    @pytest.mark.parametrize(
+        "gbs,gpus,step,printed",
+        [
+            (128, 64, 8.42, 432),   # JaxPP
+            (128, 64, 8.44, 431),   # JAX FSDP
+            (128, 64, 7.02, 519),   # NeMo (Llama numbers use model accounting)
+        ],
+    )
+    def test_llama_rows(self, gbs, gpus, step, printed):
+        got = tflops_per_device(LLAMA2_70B, gbs, step, gpus)
+        assert got == pytest.approx(printed, rel=0.01)
+
+    def test_nemo_gpt3_row_uses_remat_accounting(self):
+        # the one exception: NeMo's printed 500 at 9.78s exceeds model
+        # accounting by ~11% (selective-recompute FLOPs included)
+        got = tflops_per_device(GPT3_175B, 256, 9.78, 128)
+        assert got == pytest.approx(451, rel=0.01)
+        assert 500 / got == pytest.approx(1.11, abs=0.02)
+
+    def test_flops_per_step_scales_with_batch(self):
+        a = model_flops_per_step(GPT3_175B, 128)
+        b = model_flops_per_step(GPT3_175B, 256)
+        assert b == pytest.approx(2 * a)

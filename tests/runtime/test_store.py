@@ -1,0 +1,74 @@
+"""Object store tests: byte accounting, peaks, pinning, pending deletes."""
+
+import pytest
+
+from repro.runtime.instructions import BufferRef
+from repro.runtime.store import ObjectStore
+
+
+class TestObjectStore:
+    def test_put_get(self):
+        s = ObjectStore(0)
+        s.put(BufferRef("a"), 42, 100)
+        assert s.get(BufferRef("a")).value == 42
+        assert s.bytes_in_use == 100
+
+    def test_duplicate_put_rejected(self):
+        s = ObjectStore(0)
+        s.put(BufferRef("a"), 1, 10)
+        with pytest.raises(KeyError):
+            s.put(BufferRef("a"), 2, 10)
+
+    def test_missing_get_is_loud(self):
+        s = ObjectStore(3)
+        with pytest.raises(KeyError, match="actor 3"):
+            s.get(BufferRef("nope"))
+
+    def test_delete_frees_bytes(self):
+        s = ObjectStore(0)
+        s.put(BufferRef("a"), 1, 100)
+        s.put(BufferRef("b"), 2, 50)
+        s.delete(BufferRef("a"))
+        assert s.bytes_in_use == 50
+        assert BufferRef("a") not in s
+
+    def test_peak_tracking(self):
+        s = ObjectStore(0)
+        s.put(BufferRef("a"), 1, 100)
+        s.put(BufferRef("b"), 2, 50)
+        s.delete(BufferRef("a"))
+        s.put(BufferRef("c"), 3, 20)
+        assert s.peak_bytes == 150
+        assert s.bytes_in_use == 70
+
+    def test_pinned_delete_rejected(self):
+        s = ObjectStore(0)
+        s.put(BufferRef("w"), 1, 10, pinned=True)
+        with pytest.raises(ValueError, match="pinned"):
+            s.delete(BufferRef("w"))
+
+    def test_update_adjusts_bytes(self):
+        s = ObjectStore(0)
+        s.put(BufferRef("a"), 1, 100)
+        s.update(BufferRef("a"), 2, nbytes=300)
+        assert s.bytes_in_use == 300
+        assert s.get(BufferRef("a")).value == 2
+
+    def test_update_without_nbytes(self):
+        s = ObjectStore(0)
+        s.put(BufferRef("a"), 1, 100)
+        s.update(BufferRef("a"), 5)
+        assert s.bytes_in_use == 100
+
+    def test_live_refs(self):
+        s = ObjectStore(0)
+        s.put(BufferRef("b"), 1, 1)
+        s.put(BufferRef("a"), 1, 1)
+        assert s.live_refs() == ["a", "b"]
+
+    def test_double_delete_is_loud(self):
+        s = ObjectStore(0)
+        s.put(BufferRef("a"), 1, 1)
+        s.delete(BufferRef("a"))
+        with pytest.raises(KeyError):
+            s.delete(BufferRef("a"))

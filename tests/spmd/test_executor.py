@@ -1,0 +1,135 @@
+"""Executor-level tests: shard/unshard roundtrips, replica verification,
+collective stats, and hypothesis properties for SPMD equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ir, spmd
+from repro.ir import nn, ops
+from repro.spmd.executor import shard_array, unshard_array
+from tests.helpers import rng
+
+
+class TestShardUnshard:
+    def test_roundtrip_1d_sharding(self):
+        m = spmd.Mesh([("data", 4)])
+        x = rng(0).randn(8, 3).astype(np.float32)
+        spec = spmd.PSpec(("data", None))
+        shards = shard_array(x, spec, m)
+        assert all(s.shape == (2, 3) for s in shards)
+        np.testing.assert_array_equal(unshard_array(shards, spec, m), x)
+
+    def test_roundtrip_2d_sharding(self):
+        m = spmd.Mesh([("a", 2), ("b", 2)])
+        x = rng(1).randn(4, 6).astype(np.float32)
+        spec = spmd.PSpec(("a", "b"))
+        shards = shard_array(x, spec, m)
+        assert all(s.shape == (2, 3) for s in shards)
+        np.testing.assert_array_equal(unshard_array(shards, spec, m), x)
+
+    def test_replication(self):
+        m = spmd.Mesh([("a", 2)])
+        x = rng(2).randn(3).astype(np.float32)
+        shards = shard_array(x, spmd.replicated(1), m)
+        assert all(np.array_equal(s, x) for s in shards)
+
+    def test_replica_mismatch_detected(self):
+        m = spmd.Mesh([("a", 2)])
+        good = rng(3).randn(3).astype(np.float32)
+        bad = good + 1
+        with pytest.raises(AssertionError):
+            unshard_array([good, bad], spmd.replicated(1), m)
+
+    def test_partial_replication_roundtrip(self):
+        m = spmd.Mesh([("a", 2), ("b", 2)])
+        x = rng(4).randn(4, 6).astype(np.float32)
+        spec = spmd.PSpec(("a", None))  # replicated over b
+        shards = shard_array(x, spec, m)
+        np.testing.assert_array_equal(unshard_array(shards, spec, m), x)
+
+
+class TestStats:
+    def test_allreduce_bytes_recorded(self):
+        r = rng(5)
+        X = r.randn(4, 6).astype(np.float32)
+        W1 = r.randn(6, 8).astype(np.float32)
+        W2 = r.randn(8, 6).astype(np.float32)
+
+        def ffn(X, W1, W2):
+            H = nn.relu(spmd.shard(ops.matmul(X, W1), ("batch", "mlp")))
+            return ops.matmul(H, W2)
+
+        jaxpr, _, _ = ir.trace(ffn, X, W1, W2)
+        mesh = spmd.Mesh([("model", 2)])
+        prog = spmd.partition(jaxpr, mesh,
+                              in_specs=[None, (None, "mlp"), ("mlp", None)],
+                              rules={"mlp": "model", "batch": None})
+        ex = spmd.SpmdExecutor(mesh)
+        out = ex.run(prog, [X, W1, W2])[0]
+        np.testing.assert_allclose(out, np.maximum(X @ W1, 0) @ W2, atol=1e-5)
+        assert ex.stats.counts.get("all_reduce") == 1
+        # one fp32 (4, 6) buffer per device
+        assert ex.stats.bytes["all_reduce"] == 4 * 6 * 4
+        assert ex.stats.total_collectives == 1
+
+    def test_wrong_arg_count(self):
+        X = rng(6).randn(2, 2).astype(np.float32)
+        jaxpr, _, _ = ir.trace(lambda x: ops.tanh(x), X)
+        mesh = spmd.Mesh([("a", 1)])
+        prog = spmd.partition(jaxpr, mesh, in_specs=[None])
+        with pytest.raises(TypeError):
+            spmd.SpmdExecutor(mesh).run(prog, [X, X])
+
+
+class TestSpmdEquivalenceProperty:
+    """SPMD execution == single-device execution, for random programs."""
+
+    @given(
+        b=st.sampled_from([2, 4, 8]),
+        e=st.sampled_from([2, 4, 6]),
+        h=st.sampled_from([2, 4, 8]),
+        dp=st.sampled_from([1, 2]),
+        tp=st.sampled_from([1, 2]),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_ffn_random_configs(self, b, e, h, dp, tp, seed):
+        r = np.random.RandomState(seed)
+        X = r.randn(b * dp, e).astype(np.float32)
+        W1 = r.randn(e, h * tp).astype(np.float32)
+        W2 = r.randn(h * tp, e).astype(np.float32)
+
+        def ffn(X, W1, W2):
+            H = nn.gelu(spmd.shard(ops.matmul(X, W1), ("batch", "mlp")))
+            return spmd.shard(ops.matmul(H, W2), ("batch", None))
+
+        jaxpr, _, _ = ir.trace(ffn, X, W1, W2)
+        mesh = spmd.Mesh([("data", dp), ("model", tp)])
+        prog = spmd.partition(
+            jaxpr, mesh,
+            in_specs=[("batch", None), (None, "mlp"), ("mlp", None)],
+            rules={"batch": "data", "mlp": "model"},
+        )
+        out = spmd.SpmdExecutor(mesh).run(prog, [X, W1, W2])[0]
+        np.testing.assert_allclose(out, ffn(X, W1, W2), atol=2e-4, rtol=2e-4)
+
+    @given(seed=st.integers(0, 10_000), dp=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=15, deadline=None)
+    def test_grad_random_dp(self, seed, dp):
+        r = np.random.RandomState(seed)
+        X = r.randn(4 * dp, 3).astype(np.float32)
+        W = r.randn(3, 5).astype(np.float32)
+
+        def loss(W, X):
+            return nn.gelu(spmd.shard(ops.matmul(X, W), ("batch", None))).sum()
+
+        jaxpr, _, _ = ir.trace(lambda W, X: ir.value_and_grad(loss)(W, X), W, X)
+        mesh = spmd.Mesh([("data", dp)])
+        prog = spmd.partition(jaxpr, mesh, in_specs=[None, ("batch", None)],
+                              rules={"batch": "data"})
+        outs = spmd.SpmdExecutor(mesh).run(prog, [W, X])
+        l, g = ir.value_and_grad(loss)(W, X)
+        np.testing.assert_allclose(outs[0], l, rtol=1e-3, atol=1e-4)
+        np.testing.assert_allclose(outs[1], g, rtol=1e-3, atol=1e-4)

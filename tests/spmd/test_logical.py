@@ -1,0 +1,103 @@
+"""Tests for the logical named-axis layer and collective edge cases."""
+
+import numpy as np
+import pytest
+
+from repro import ir, spmd
+from repro.ir import ops
+from repro.spmd import resolve_names, shard
+from repro.spmd.collectives import reduce_scatter_p
+from repro.spmd.partitioner import _reshape_segments
+from tests.helpers import rng
+
+
+class TestResolveNames:
+    def test_basic_mapping(self):
+        spec = resolve_names(("batch", "mlp"), {"batch": "data", "mlp": "model"})
+        assert spec.dims == ("data", "model")
+
+    def test_unmapped_names_replicate(self):
+        spec = resolve_names(("batch", "emb"), {"batch": "data"})
+        assert spec.dims == ("data", None)
+
+    def test_none_name_replicates(self):
+        spec = resolve_names((None, "mlp"), {"mlp": "model"})
+        assert spec.dims == (None, "model")
+
+    def test_mapping_to_none(self):
+        spec = resolve_names(("emb",), {"emb": None})
+        assert spec.is_replicated
+
+    def test_duplicate_mesh_axis_keeps_first(self):
+        # two logical names mapped to one mesh axis: later dims replicate
+        spec = resolve_names(("batch", "seq"), {"batch": "data", "seq": "data"})
+        assert spec.dims == ("data", None)
+
+
+class TestShardAnnotation:
+    def test_identity_eager(self):
+        x = rng(0).randn(3, 4).astype(np.float32)
+        np.testing.assert_array_equal(shard(x, ("batch", None)), x)
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            shard(np.zeros((2, 2), np.float32), ("batch",))
+
+    def test_traced_constraint_recorded(self):
+        def f(x):
+            return shard(x, ("batch", None))
+
+        jaxpr, _, _ = ir.trace(f, np.zeros((2, 2), np.float32))
+        assert jaxpr.eqns[0].prim.name == "shard_constraint"
+        assert jaxpr.eqns[0].params["names"] == ("batch", None)
+
+    def test_constraint_differentiable(self):
+        x = rng(1).randn(3).astype(np.float32)
+        g = ir.grad(lambda x: (shard(x, (None,)) ** 2.0).sum())(x)
+        np.testing.assert_allclose(g, 2 * x, rtol=1e-5)
+
+
+class TestReduceScatter:
+    def test_semantics_in_executor(self):
+        # build a partitioned program by hand containing a reduce_scatter
+        from repro.ir.avals import ShapedArray
+        from repro.ir.jaxpr import Jaxpr, Var
+        from repro.spmd.partitioner import PartitionedProgram
+        from repro.spmd.spec import PSpec
+
+        mesh = spmd.Mesh([("model", 2)])
+        v_in = Var(ShapedArray((4,), ir.float32))
+        v_out = Var(ShapedArray((2,), ir.float32))
+        from repro.ir.jaxpr import Eqn
+
+        jaxpr = Jaxpr(
+            [v_in],
+            [Eqn(reduce_scatter_p, [v_in], [v_out], dict(axis="model", dim=0, axis_size=2))],
+            [v_out],
+        )
+        prog = PartitionedProgram(jaxpr, mesh, [PSpec((None,))], [PSpec(("model",))])
+        x = np.array([1.0, 2.0, 3.0, 4.0], np.float32)
+        out = spmd.SpmdExecutor(mesh).run(prog, [x])[0]
+        # both devices contribute the full x; reduce-scatter sums then splits
+        np.testing.assert_allclose(out, 2 * x)
+
+    def test_eager_collective_rejected(self):
+        with pytest.raises(RuntimeError, match="SPMD executor"):
+            reduce_scatter_p.bind(np.zeros(4, np.float32), axis="model", dim=0, axis_size=2)
+
+
+class TestReshapeSegments:
+    def test_identity(self):
+        assert _reshape_segments((4, 6), (4, 6)) == [((0, 1), (0, 1)), ((1, 2), (1, 2))]
+
+    def test_split(self):
+        segs = _reshape_segments((4, 6), (4, 2, 3))
+        assert segs == [((0, 1), (0, 1)), ((1, 2), (1, 3))]
+
+    def test_merge(self):
+        segs = _reshape_segments((2, 3, 5), (6, 5))
+        assert segs == [((0, 2), (0, 1)), ((2, 3), (1, 2))]
+
+    def test_full_flatten(self):
+        segs = _reshape_segments((2, 3), (6,))
+        assert segs == [((0, 2), (0, 1))]

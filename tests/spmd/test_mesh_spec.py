@@ -1,0 +1,116 @@
+"""Unit tests for Mesh and PSpec."""
+
+import pytest
+
+from repro.ir import ShapedArray, float32
+from repro.spmd import Mesh, PSpec, local_shape, merge_specs, replicated
+
+
+class TestMesh:
+    def test_shape_and_names(self):
+        m = Mesh([("data", 4), ("model", 8)])
+        assert m.shape == (4, 8)
+        assert m.axis_names == ("data", "model")
+        assert m.n_devices == 32
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh([("a", 2), ("a", 2)])
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh([("a", 0)])
+
+    def test_device_ids_default(self):
+        m = Mesh([("x", 2), ("y", 3)])
+        assert m.device_ids == tuple(range(6))
+
+    def test_device_ids_validation(self):
+        with pytest.raises(ValueError):
+            Mesh([("x", 2)], device_ids=[0])
+        with pytest.raises(ValueError):
+            Mesh([("x", 2)], device_ids=[1, 1])
+
+    def test_coords_roundtrip(self):
+        m = Mesh([("a", 2), ("b", 3), ("c", 2)])
+        for d in range(m.n_devices):
+            assert m.device_at(m.coords(d)) == d
+
+    def test_coords_row_major(self):
+        m = Mesh([("a", 2), ("b", 3)])
+        assert m.coords(0) == (0, 0)
+        assert m.coords(1) == (0, 1)
+        assert m.coords(3) == (1, 0)
+
+    def test_axis_size_lookup(self):
+        m = Mesh([("data", 4), ("model", 8)])
+        assert m.axis_size("model") == 8
+        with pytest.raises(KeyError):
+            m.axis_size("nope")
+
+    def test_groups_cover_all_devices_once(self):
+        m = Mesh([("a", 2), ("b", 3)])
+        for name in ("a", "b"):
+            groups = m.groups(name)
+            flat = [d for g in groups for d in g]
+            assert sorted(flat) == list(range(6))
+            assert all(len(g) == m.axis_size(name) for g in groups)
+
+    def test_groups_order_follows_coordinate(self):
+        m = Mesh([("a", 2), ("b", 2)])
+        for g in m.groups("b"):
+            coords = [m.axis_coord(d, "b") for d in g]
+            assert coords == [0, 1]
+
+
+class TestPSpec:
+    def test_replicated(self):
+        s = replicated(3)
+        assert s.is_replicated and s.ndim == 3
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ValueError):
+            PSpec(("data", "data"))
+
+    def test_sharded_axes(self):
+        s = PSpec(("data", None, "model"))
+        assert s.sharded_axes == ("data", "model")
+        assert s.dim_of("model") == 2
+
+    def test_with_dim(self):
+        s = PSpec((None, "model"))
+        assert s.with_dim(1, None).is_replicated
+
+    def test_local_shape(self):
+        m = Mesh([("data", 4), ("model", 8)])
+        a = ShapedArray((16, 32), float32)
+        assert local_shape(a, PSpec(("data", "model")), m) == (4, 4)
+        assert local_shape(a, PSpec((None, "model")), m) == (16, 4)
+        assert local_shape(a, replicated(2), m) == (16, 32)
+
+    def test_local_shape_divisibility(self):
+        m = Mesh([("data", 3)])
+        with pytest.raises(ValueError):
+            local_shape(ShapedArray((4,), float32), PSpec(("data",)), m)
+
+    def test_local_shape_rank_mismatch(self):
+        m = Mesh([("data", 2)])
+        with pytest.raises(ValueError):
+            local_shape(ShapedArray((4, 4), float32), PSpec(("data",)), m)
+
+
+class TestMergeSpecs:
+    def test_defer_to_sharded(self):
+        a = PSpec((None, "model"))
+        b = PSpec(("data", None))
+        assert merge_specs(a, b) == PSpec(("data", "model"))
+
+    def test_agreement(self):
+        a = PSpec(("data", None))
+        assert merge_specs(a, a) == a
+
+    def test_conflict_returns_none(self):
+        assert merge_specs(PSpec(("data",)), PSpec(("model",))) is None
+
+    def test_rank_mismatch(self):
+        assert merge_specs(PSpec(("data",)), PSpec(("data", None))) is None

@@ -1,0 +1,344 @@
+"""Partitioner tests: DP/TP/2-D instantiations of the paper's Figure 1 FFN,
+collective placement, resharding, and the universal replication fallback."""
+
+import numpy as np
+import pytest
+
+from repro import ir, spmd
+from repro.ir import nn, ops
+from tests.helpers import rng
+
+RULES = {"batch": "data", "mlp": "model", "emb": None}
+
+
+def _ffn_jaxpr(b=8, e=6, m=8):
+    r = rng(0)
+    X = r.randn(b, e).astype(np.float32)
+    W1 = r.randn(e, m).astype(np.float32)
+    W2 = r.randn(m, e).astype(np.float32)
+
+    def ffn(X, W1, W2):
+        H1 = nn.relu(ops.matmul(X, W1))
+        H1 = spmd.shard(H1, ("batch", "mlp"))
+        H2 = ops.matmul(H1, W2)
+        return spmd.shard(H2, ("batch", "emb"))
+
+    jaxpr, _, _ = ir.trace(ffn, X, W1, W2)
+    return jaxpr, (X, W1, W2), ffn(X, W1, W2)
+
+
+IN_SPECS = [("batch", "emb"), ("emb", "mlp"), ("mlp", "emb")]
+
+
+def _collective_names(prog):
+    return [e.prim.name for e in prog.local_jaxpr.eqns
+            if e.prim.name in ("all_reduce", "all_gather", "mesh_split", "reduce_scatter")]
+
+
+class TestFigure1FFN:
+    """The paper's Figure 1c: same model, different mesh shapes."""
+
+    @pytest.mark.parametrize(
+        "mesh_axes",
+        [
+            [("data", 2), ("model", 1)],  # data parallel
+            [("data", 1), ("model", 2)],  # Megatron tensor parallel
+            [("data", 2), ("model", 2)],  # combined 2-D
+            [("data", 4), ("model", 2)],
+        ],
+    )
+    def test_matches_single_device(self, mesh_axes):
+        jaxpr, args, ref = _ffn_jaxpr()
+        mesh = spmd.Mesh(mesh_axes)
+        prog = spmd.partition(jaxpr, mesh, in_specs=IN_SPECS, rules=RULES)
+        out = spmd.SpmdExecutor(mesh).run(prog, list(args))[0]
+        np.testing.assert_allclose(out, ref, atol=1e-5)
+
+    def test_tp_inserts_single_allreduce(self):
+        # Row-parallel second matmul needs exactly one all-reduce (Megatron).
+        jaxpr, args, _ = _ffn_jaxpr()
+        mesh = spmd.Mesh([("data", 1), ("model", 2)])
+        prog = spmd.partition(jaxpr, mesh, in_specs=IN_SPECS, rules=RULES)
+        assert _collective_names(prog) == ["all_reduce"]
+
+    def test_dp_inserts_no_collectives(self):
+        jaxpr, args, _ = _ffn_jaxpr()
+        mesh = spmd.Mesh([("data", 2), ("model", 1)])
+        prog = spmd.partition(jaxpr, mesh, in_specs=IN_SPECS, rules=RULES)
+        assert _collective_names(prog) == []  # size-1 axes elided
+
+    def test_local_shapes_are_shards(self):
+        jaxpr, _, _ = _ffn_jaxpr(b=8, e=6, m=8)
+        mesh = spmd.Mesh([("data", 2), ("model", 2)])
+        prog = spmd.partition(jaxpr, mesh, in_specs=IN_SPECS, rules=RULES)
+        lx, lw1, lw2 = [v.aval.shape for v in prog.local_jaxpr.invars]
+        assert lx == (4, 6)     # batch/2
+        assert lw1 == (6, 4)    # mlp/2
+        assert lw2 == (4, 6)    # mlp/2
+
+    def test_out_specs_follow_annotations(self):
+        jaxpr, _, _ = _ffn_jaxpr()
+        mesh = spmd.Mesh([("data", 2), ("model", 2)])
+        prog = spmd.partition(jaxpr, mesh, in_specs=IN_SPECS, rules=RULES)
+        assert prog.out_specs[0].dims == ("data", None)
+
+    def test_uneven_shard_rejected(self):
+        jaxpr, _, _ = _ffn_jaxpr(b=7)
+        mesh = spmd.Mesh([("data", 2), ("model", 1)])
+        with pytest.raises(ValueError):
+            spmd.partition(jaxpr, mesh, in_specs=IN_SPECS, rules=RULES)
+
+
+class TestGradientCollectives:
+    def test_dp_gradient_allreduce_emerges(self):
+        # Backward of a batch-sharded matmul contracts over the batch:
+        # the partitioner must emit the data-parallel gradient all-reduce
+        # without anyone asking for it.
+        r = rng(1)
+        X = r.randn(8, 6).astype(np.float32)
+        W = r.randn(6, 4).astype(np.float32)
+
+        def loss(W, X):
+            return (spmd.shard(ops.matmul(X, W), ("batch", None)) ** 2.0).sum()
+
+        jaxpr, _, _ = ir.trace(lambda W, X: ir.value_and_grad(loss)(W, X), W, X)
+        mesh = spmd.Mesh([("data", 2)])
+        prog = spmd.partition(
+            jaxpr, mesh, in_specs=[(None, None), ("batch", None)],
+            rules={"batch": "data"},
+        )
+        assert "all_reduce" in _collective_names(prog)
+        ex = spmd.SpmdExecutor(mesh)
+        outs = ex.run(prog, [W, X])
+        l, g = ir.value_and_grad(loss)(W, X)
+        np.testing.assert_allclose(outs[0], l, rtol=1e-4)
+        np.testing.assert_allclose(outs[1], g, rtol=1e-4, atol=1e-5)
+
+    def test_tp_megatron_training_step(self):
+        r = rng(2)
+        X = r.randn(4, 6).astype(np.float32)
+        params = {
+            "w1": r.randn(6, 8).astype(np.float32),
+            "w2": r.randn(8, 6).astype(np.float32),
+        }
+
+        def loss(p, X):
+            H = nn.relu(spmd.shard(ops.matmul(X, p["w1"]), ("batch", "mlp")))
+            return (ops.matmul(H, p["w2"]) ** 2.0).sum()
+
+        jaxpr, _, _ = ir.trace(lambda p, X: ir.value_and_grad(loss)(p, X), params, X)
+        mesh = spmd.Mesh([("data", 2), ("model", 2)])
+        prog = spmd.partition(
+            jaxpr, mesh,
+            in_specs=[("emb", "mlp"), ("mlp", "emb"), ("batch", "emb")],
+            rules=RULES,
+        )
+        outs = spmd.SpmdExecutor(mesh).run(prog, [params["w1"], params["w2"], X])
+        l, g = ir.value_and_grad(loss)(params, X)
+        np.testing.assert_allclose(outs[0], l, rtol=1e-4)
+        np.testing.assert_allclose(outs[1], g["w1"], rtol=1e-3, atol=1e-4)
+        np.testing.assert_allclose(outs[2], g["w2"], rtol=1e-3, atol=1e-4)
+
+
+class TestReshardingAndFallback:
+    def test_constraint_triggers_gather_then_split(self):
+        r = rng(3)
+        X = r.randn(8, 4).astype(np.float32)
+
+        def f(X):
+            a = spmd.shard(X, ("batch", None))
+            return spmd.shard(ops.tanh(a), (None, "mlp"))
+
+        jaxpr, _, _ = ir.trace(f, X)
+        mesh = spmd.Mesh([("data", 2), ("model", 2)])
+        prog = spmd.partition(jaxpr, mesh, in_specs=[("batch", None)],
+                              rules={"batch": "data", "mlp": "model"})
+        names = _collective_names(prog)
+        assert "all_gather" in names and "mesh_split" in names
+        out = spmd.SpmdExecutor(mesh).run(prog, [X])[0]
+        np.testing.assert_allclose(out, np.tanh(X), atol=1e-6)
+
+    def test_unsupported_op_falls_back_to_replication(self):
+        r = rng(4)
+        X = r.randn(4, 6).astype(np.float32)
+
+        def f(X):
+            a = spmd.shard(X, ("batch", None))
+            # unslice has no sharded rule: partitioner must gather + replicate
+            return ops.unslice(a, (8, 6), (2, 0))
+
+        jaxpr, _, _ = ir.trace(f, X)
+        mesh = spmd.Mesh([("data", 2)])
+        prog = spmd.partition(jaxpr, mesh, in_specs=[("batch", None)],
+                              rules={"batch": "data"})
+        out = spmd.SpmdExecutor(mesh).run(prog, [X])[0]
+        np.testing.assert_allclose(out, ops.unslice(X, (8, 6), (2, 0)))
+
+    def test_reduce_over_sharded_dim_allreduces(self):
+        r = rng(5)
+        X = r.randn(8, 4).astype(np.float32)
+
+        def f(X):
+            return ops.reduce_sum(spmd.shard(X, ("batch", None)), axes=0)
+
+        jaxpr, _, _ = ir.trace(f, X)
+        mesh = spmd.Mesh([("data", 4)])
+        prog = spmd.partition(jaxpr, mesh, in_specs=[("batch", None)], rules={"batch": "data"})
+        assert "all_reduce" in _collective_names(prog)
+        out = spmd.SpmdExecutor(mesh).run(prog, [X])[0]
+        np.testing.assert_allclose(out, X.sum(0), rtol=1e-5)
+
+    def test_reduce_max_over_sharded_dim(self):
+        r = rng(6)
+        X = r.randn(8, 4).astype(np.float32)
+
+        def f(X):
+            return ops.reduce_max(spmd.shard(X, ("batch", None)), axes=0)
+
+        jaxpr, _, _ = ir.trace(f, X)
+        mesh = spmd.Mesh([("data", 2)])
+        prog = spmd.partition(jaxpr, mesh, in_specs=[("batch", None)], rules={"batch": "data"})
+        out = spmd.SpmdExecutor(mesh).run(prog, [X])[0]
+        np.testing.assert_allclose(out, X.max(0))
+
+
+class TestStructuralRules:
+    def test_transpose_permutes_spec(self):
+        r = rng(7)
+        X = r.randn(8, 4).astype(np.float32)
+
+        def f(X):
+            return ops.transpose(spmd.shard(X, ("batch", None)))
+
+        jaxpr, _, _ = ir.trace(f, X)
+        mesh = spmd.Mesh([("data", 2)])
+        prog = spmd.partition(jaxpr, mesh, in_specs=[("batch", None)], rules={"batch": "data"})
+        assert prog.out_specs[0].dims == (None, "data")
+        out = spmd.SpmdExecutor(mesh).run(prog, [X])[0]
+        np.testing.assert_allclose(out, X.T)
+
+    def test_reshape_split_heads_keeps_sharding(self):
+        # (B, H) -> (B, nh, hd) with H sharded: sharding moves to nh.
+        r = rng(8)
+        X = r.randn(4, 8).astype(np.float32)
+
+        def f(X):
+            a = spmd.shard(X, (None, "mlp"))
+            return ops.reshape(a, (4, 4, 2))
+
+        jaxpr, _, _ = ir.trace(f, X)
+        mesh = spmd.Mesh([("model", 2)])
+        prog = spmd.partition(jaxpr, mesh, in_specs=[(None, "mlp")], rules={"mlp": "model"})
+        assert prog.out_specs[0].dims == (None, "model", None)
+        assert "all_gather" not in _collective_names(prog)
+        out = spmd.SpmdExecutor(mesh).run(prog, [X])[0]
+        np.testing.assert_allclose(out, X.reshape(4, 4, 2))
+
+    def test_reshape_merge_heads(self):
+        r = rng(9)
+        X = r.randn(4, 4, 2).astype(np.float32)
+
+        def f(X):
+            a = spmd.shard(X, (None, "mlp", None))
+            return ops.reshape(a, (4, 8))
+
+        jaxpr, _, _ = ir.trace(f, X)
+        mesh = spmd.Mesh([("model", 2)])
+        prog = spmd.partition(jaxpr, mesh, in_specs=[(None, "mlp", None)], rules={"mlp": "model"})
+        assert prog.out_specs[0].dims == (None, "model")
+        out = spmd.SpmdExecutor(mesh).run(prog, [X])[0]
+        np.testing.assert_allclose(out, X.reshape(4, 8))
+
+    def test_reshape_incompatible_gathers(self):
+        # microbatch reshape (B, E) -> (2, B/2, E) with B sharded on an axis
+        # that doesn't divide the new leading dim: must gather, stay correct.
+        r = rng(10)
+        X = r.randn(6, 4).astype(np.float32)
+
+        def f(X):
+            a = spmd.shard(X, ("batch", None))
+            return ops.reshape(a, (2, 3, 4))
+
+        jaxpr, _, _ = ir.trace(f, X)
+        mesh = spmd.Mesh([("data", 3)])
+        prog = spmd.partition(jaxpr, mesh, in_specs=[("batch", None)], rules={"batch": "data"})
+        out = spmd.SpmdExecutor(mesh).run(prog, [X])[0]
+        np.testing.assert_allclose(out, X.reshape(2, 3, 4))
+
+    def test_take_embedding_sharded_hidden(self):
+        r = rng(11)
+        table = r.randn(10, 8).astype(np.float32)
+        idx = np.array([[1, 2], [3, 4]], np.int32)
+
+        def f(table, idx):
+            t = spmd.shard(table, (None, "emb"))
+            return ops.take(t, idx)
+
+        jaxpr, _, _ = ir.trace(f, table, idx)
+        mesh = spmd.Mesh([("model", 2)])
+        prog = spmd.partition(jaxpr, mesh, in_specs=[(None, "emb"), (None, None)],
+                              rules={"emb": "model"})
+        assert prog.out_specs[0].dims == (None, None, "model")
+        out = spmd.SpmdExecutor(mesh).run(prog, [table, idx])[0]
+        np.testing.assert_allclose(out, table[idx])
+
+    def test_concatenate_requires_concat_dim_replicated(self):
+        r = rng(12)
+        a = r.randn(4, 3).astype(np.float32)
+        b = r.randn(4, 3).astype(np.float32)
+
+        def f(a, b):
+            return ops.concatenate([spmd.shard(a, ("batch", None)), b], axis=0)
+
+        jaxpr, _, _ = ir.trace(f, a, b)
+        mesh = spmd.Mesh([("data", 2)])
+        prog = spmd.partition(jaxpr, mesh, in_specs=[("batch", None), (None, None)],
+                              rules={"batch": "data"})
+        out = spmd.SpmdExecutor(mesh).run(prog, [a, b])[0]
+        np.testing.assert_allclose(out, np.concatenate([a, b], 0))
+
+    def test_slice_full_dim_keeps_sharding(self):
+        r = rng(13)
+        X = r.randn(8, 6).astype(np.float32)
+
+        def f(X):
+            a = spmd.shard(X, ("batch", None))
+            return ops.slice_(a, (0, 2), (8, 5))
+
+        jaxpr, _, _ = ir.trace(f, X)
+        mesh = spmd.Mesh([("data", 2)])
+        prog = spmd.partition(jaxpr, mesh, in_specs=[("batch", None)], rules={"batch": "data"})
+        assert prog.out_specs[0].dims == ("data", None)
+        out = spmd.SpmdExecutor(mesh).run(prog, [X])[0]
+        np.testing.assert_allclose(out, X[:, 2:5])
+
+
+class TestSoftmaxAndNorms:
+    def test_softmax_batch_sharded(self):
+        r = rng(14)
+        X = r.randn(8, 10).astype(np.float32)
+
+        def f(X):
+            return nn.softmax(spmd.shard(X, ("batch", None)))
+
+        jaxpr, _, _ = ir.trace(f, X)
+        mesh = spmd.Mesh([("data", 2)])
+        prog = spmd.partition(jaxpr, mesh, in_specs=[("batch", None)], rules={"batch": "data"})
+        out = spmd.SpmdExecutor(mesh).run(prog, [X])[0]
+        np.testing.assert_allclose(out, nn.softmax(X), atol=1e-6)
+
+    def test_layernorm_batch_sharded(self):
+        r = rng(15)
+        X = r.randn(8, 16).astype(np.float32)
+        g, b = np.ones(16, np.float32), np.zeros(16, np.float32)
+
+        def f(X, g, b):
+            return nn.layer_norm(spmd.shard(X, ("batch", None)), g, b)
+
+        jaxpr, _, _ = ir.trace(f, X, g, b)
+        mesh = spmd.Mesh([("data", 4)])
+        prog = spmd.partition(jaxpr, mesh,
+                              in_specs=[("batch", None), (None,), (None,)],
+                              rules={"batch": "data"})
+        out = spmd.SpmdExecutor(mesh).run(prog, [X, g, b])[0]
+        np.testing.assert_allclose(out, nn.layer_norm(X, g, b), atol=1e-5)

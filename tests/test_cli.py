@@ -1,0 +1,17 @@
+"""Smoke tests for the ``python -m repro`` artefact regenerator."""
+
+from repro.__main__ import ARTEFACTS, main
+
+
+class TestCli:
+    def test_unknown_artefact_fails_cleanly(self, capsys):
+        assert main(["not-a-figure"]) == 2
+        assert "unknown artefact" in capsys.readouterr().out
+
+    def test_fig10_regenerates(self, capsys):
+        assert main(["fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "remat" in out and "total step" in out
+
+    def test_all_artefacts_registered(self):
+        assert set(ARTEFACTS) == {"table1", "fig6", "fig7", "fig8", "fig9", "fig10"}
