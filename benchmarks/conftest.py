@@ -14,6 +14,19 @@ import pathlib
 import pytest
 
 RESULTS = pathlib.Path(__file__).parent / "results"
+_BENCH_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark every benchmark as ``slow`` so `-m "not slow"` keeps the
+    tier-1 lane fast; the CI smoke job runs this directory explicitly."""
+    for item in items:
+        try:
+            in_benchmarks = _BENCH_DIR in pathlib.Path(str(item.fspath)).parents
+        except (OSError, ValueError):  # pragma: no cover - exotic collectors
+            in_benchmarks = False
+        if in_benchmarks:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

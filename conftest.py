@@ -1,0 +1,15 @@
+"""Repo-level pytest configuration.
+
+Registers the ``slow`` marker that :mod:`benchmarks.conftest` applies to
+every figure/table regeneration test, so the fast tier-1 suite can be run
+with ``pytest -m "not slow"`` (what CI's tier-1 job does) while the full
+``pytest`` invocation still runs everything.
+"""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: heavy benchmark / figure-regeneration tests "
+        "(deselect with -m \"not slow\")",
+    )

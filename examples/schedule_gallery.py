@@ -1,4 +1,5 @@
-"""Figure 2, live: compare GPipe / 1F1B / Interleaved 1F1B.
+"""Figure 2, live: compare GPipe / 1F1B / Interleaved 1F1B / Eager 1F1B /
+zero-bubble ZB-H1.
 
 Renders each schedule's logical order (the paper's Figure 2), executes the
 same 4-stage model under each schedule on a virtual-time cost model, and
@@ -47,6 +48,8 @@ def main() -> None:
         (core.GPipe(4), 4),
         (core.OneFOneB(4), 4),
         (core.Interleaved1F1B(2, 2), 4),
+        (core.Eager1F1B(4), 4),
+        (core.ZBH1(4), 4),
     ]:
         print("=" * 72)
         print(f"{schedule.name}  ({n_stages} stages on {schedule.n_actors} actors, "

@@ -23,10 +23,13 @@ from repro.core.compile import CompiledStep, compile_train_step
 from repro.core.loop_commute import CombineSpec, CommuteResult, commute_shared_gradients
 from repro.core.schedules import (
     GPipe,
+    Eager1F1B,
     Interleaved1F1B,
     OneFOneB,
     Schedule,
     Unit,
+    ZBH1,
+    iter_unit_deps,
     schedule_stats,
     validate_schedule,
 )
@@ -37,7 +40,7 @@ __all__ = [
     "RemoteMesh", "StepFunction",
     "compile_train_step", "CompiledStep",
     "commute_shared_gradients", "CommuteResult", "CombineSpec",
-    "Schedule", "GPipe", "OneFOneB", "Interleaved1F1B", "Unit",
-    "validate_schedule", "schedule_stats",
+    "Schedule", "GPipe", "OneFOneB", "Eager1F1B", "Interleaved1F1B", "ZBH1",
+    "Unit", "validate_schedule", "schedule_stats", "iter_unit_deps",
     "split_stages", "SplitResult", "StageTask",
 ]

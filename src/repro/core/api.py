@@ -49,6 +49,8 @@ class RemoteMesh:
             timeline (``step_fn.last_result``).
         comm_mode: point-to-point semantics (ASYNC = JaxPP's overlapped
             sends/recvs; SYNC = the blocking baseline).
+        engine: runtime scheduling loop — ``"event"`` (default) or the
+            ``"roundrobin"`` polling reference (differential testing).
     """
 
     def __init__(
@@ -58,6 +60,7 @@ class RemoteMesh:
         rules: Mapping[str, str | None] | None = None,
         cost_model: CostModel | None = None,
         comm_mode: CommMode = CommMode.ASYNC,
+        engine: str = "event",
     ):
         shape = tuple(int(s) for s in shape)
         if len(shape) == 1:
@@ -68,8 +71,13 @@ class RemoteMesh:
             raise ValueError(f"RemoteMesh shape must be (p,) or (dp, p), got {shape}")
         self.spmd_mesh = tuple(spmd_mesh) if spmd_mesh else None
         self.rules = dict(rules) if rules else {}
+        from repro.runtime.executor import ENGINES
+
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.cost_model = cost_model
         self.comm_mode = comm_mode
+        self.engine = engine
 
     @property
     def n_actors(self) -> int:
@@ -168,6 +176,7 @@ class StepFunction:
             compiled.n_actors,
             cost_model=self.mesh.cost_model,
             comm_mode=self.mesh.comm_mode,
+            engine=self.mesh.engine,
         )
 
         P = self.mesh.n_pipeline_actors

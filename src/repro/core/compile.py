@@ -32,8 +32,8 @@ import numpy as np
 
 from repro.core.accumulate import ADD, STACK, pipeline_loop_p
 from repro.core.loop_commute import commute_shared_gradients
-from repro.core.schedules import BWD, FWD, Schedule, Unit
-from repro.core.stage_split import FUSED_KIND, SplitResult, StageTask, split_stages
+from repro.core.schedules import BWD, BWD_I, BWD_W, FWD, Schedule, Unit, toposort_units
+from repro.core.stage_split import BWD_KIND, FUSED_KIND, SplitResult, StageTask, split_stages
 from repro.ir.interpreter import eval_jaxpr
 from repro.ir.jaxpr import Atom, Eqn, Jaxpr, Literal, Var
 from repro.runtime.instructions import (
@@ -442,33 +442,10 @@ def compile_train_step(
     task_fns = [_make_task_fn(t.jaxpr, spmd_config) for t in tasks]
     task_costs = [cost_fn(t) if cost_fn else 0.0 for t in tasks]
 
-    # global topological order of scheduled units (greedy, like the
-    # schedule validator) — §4.2's iteration order
-    per_actor_units = schedule.units(n_mbs)
-    order: list[tuple[int, Unit]] = []
-    done: set[tuple[int, int, str]] = set()
-    pcs = [0] * P
-    total_units = sum(len(u) for u in per_actor_units)
-    while len(order) < total_units:
-        progressed = False
-        for a_local, seq in enumerate(per_actor_units):
-            while pcs[a_local] < len(seq):
-                u = seq[pcs[a_local]]
-                deps = []
-                if u.kind == FWD and u.stage > 0:
-                    deps.append((u.mb, u.stage - 1, FWD))
-                if u.kind == BWD:
-                    deps.append((u.mb, u.stage, FWD))
-                    if u.stage < schedule.n_stages - 1:
-                        deps.append((u.mb, u.stage + 1, BWD))
-                if not all(d in done for d in deps):
-                    break
-                done.add((u.mb, u.stage, u.kind))
-                order.append((a_local, u))
-                pcs[a_local] += 1
-                progressed = True
-        if not progressed:
-            raise ValueError("schedule is not executable (would deadlock)")
+    # global topological order of scheduled units — §4.2's iteration
+    # order; the dependency model (monolithic or zero-bubble split
+    # backward) comes from the units themselves
+    order: list[tuple[int, Unit]] = toposort_units(schedule, n_mbs)
 
     for replica in range(dp_size):
         base = replica * P
@@ -541,29 +518,84 @@ def compile_train_step(
                     refs.append(out_ref(mb, src_t, src_j))
             return refs
 
+        backward_split = schedule.backward_split
+        bwd_frac = schedule.bwd_input_fraction
+
+        def emit_accumulates(a_local: int, t_idx: int, mb: int) -> None:
+            """Gradient accumulation for the ADD body outputs of one task."""
+            for pos, src in enumerate(body_out_sources):
+                if src is None or src[0] != t_idx:
+                    continue
+                if out_ops[pos] == ADD:
+                    prog(a_local).append(
+                        Accumulate(
+                            acc=BufferRef(f"acc.{pos}"),
+                            value=out_ref(mb, t_idx, src[1]),
+                            delete_value=False,
+                        )
+                    )
+
         for a_local, u in order:
-            if u.kind == BWD and u.stage == schedule.n_stages - 1 and split.fwd_task_of_stage[u.stage] == split.bwd_task_of_stage[u.stage]:
+            fused_last = (
+                u.stage == schedule.n_stages - 1
+                and split.fwd_task_of_stage[u.stage] == split.bwd_task_of_stage[u.stage]
+            )
+            if u.kind in (BWD, BWD_I) and fused_last:
                 continue  # fused into the forward unit
+            if u.kind == BWD_W:
+                # Zero-bubble weight-gradient unit: the numeric payload
+                # already ran with the input-gradient unit (the split is an
+                # ordering/cost split, not a recomputation), so this unit
+                # charges the weight-gradient share of the backward cost
+                # and commits the stage's gradients into their
+                # accumulators — the deferral that lets ZB-H1 fill bubbles.
+                t_idx = split.bwd_task_of_stage[u.stage]
+                task = tasks[t_idx]
+                w_cost = 0.0 if task.kind == FUSED_KIND else task_costs[t_idx] * (1.0 - bwd_frac)
+                prog(a_local).append(
+                    RunTask(
+                        name=f"w{u.stage}({u.mb})",
+                        in_refs=[],
+                        out_refs=[],
+                        fn=None,  # cost-only: the payload ran with bwd_i
+                        cost=w_cost,
+                        meta={
+                            "phase": "loop",
+                            "mb": u.mb,
+                            "stage": u.stage,
+                            "kind": task.kind,
+                            "unit": BWD_W,
+                            "out_nbytes": [],
+                        },
+                    )
+                )
+                emit_accumulates(a_local, t_idx, u.mb)
+                continue
             t_idx = (
                 split.fwd_task_of_stage[u.stage]
                 if u.kind == FWD
                 else split.bwd_task_of_stage[u.stage]
             )
             task = tasks[t_idx]
-            name = f"{'f' if u.kind == FWD else 'b'}{u.stage}({u.mb})"
+            prefix = {FWD: "f", BWD: "b", BWD_I: "bi"}[u.kind]
+            name = f"{prefix}{u.stage}({u.mb})"
             if task.kind == FUSED_KIND:
                 name = f"f{u.stage}b{u.stage}({u.mb})"
+            cost = task_costs[t_idx]
+            if u.kind == BWD_I:
+                cost *= bwd_frac
             run = RunTask(
                 name=name,
                 in_refs=task_in_refs(task, u.mb),
                 out_refs=[out_ref(u.mb, t_idx, j) for j in range(len(task.out_vars))],
                 fn=task_fns[t_idx],
-                cost=task_costs[t_idx],
+                cost=cost,
                 meta={
                     "phase": "loop",
                     "mb": u.mb,
                     "stage": u.stage,
                     "kind": task.kind,
+                    "unit": u.kind,
                     "out_nbytes": [v.aval.nbytes for v in task.out_vars],
                 },
             )
@@ -591,19 +623,11 @@ def compile_train_step(
                         prog(dst_local).append(recv)
                     else:
                         pending_recvs.setdefault((dst_local, consumer_t, u.mb), []).append(recv)
-                # gradient accumulation for ADD body outputs
-            for pos, src in enumerate(body_out_sources):
-                if src is None or src[0] != t_idx:
-                    continue
-                j = src[1]
-                if out_ops[pos] == ADD:
-                    prog(a_local).append(
-                        Accumulate(
-                            acc=BufferRef(f"acc.{pos}"),
-                            value=out_ref(u.mb, t_idx, j),
-                            delete_value=False,
-                        )
-                    )
+            # gradient accumulation for ADD body outputs; under a split-
+            # backward schedule, backward-produced gradients are committed
+            # by the weight-gradient unit instead
+            if not (backward_split and task.kind in (BWD_KIND, FUSED_KIND)):
+                emit_accumulates(a_local, t_idx, u.mb)
 
         # --- data-parallel gradient synchronisation ---
         if dp_size > 1:

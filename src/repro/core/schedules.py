@@ -1,4 +1,5 @@
-"""Pipeline schedules: GPipe, 1F1B, Interleaved 1F1B (§2.2.1, §4.2).
+"""Pipeline schedules: GPipe, 1F1B, Interleaved 1F1B, Eager 1F1B, ZB-H1
+(§2.2.1, §4.2).
 
 A schedule answers two questions:
 
@@ -19,6 +20,13 @@ flexibility claim (new schedules = new subclass, nothing else changes).
 on the forward's actor, and per-actor orders are consistent with the data
 dependencies (simulated to completion — a schedule that would deadlock is
 rejected here, before it ever reaches the runtime).
+
+Schedules with ``backward_split = True`` (ZB-H1) split each backward into
+an **input-gradient** unit (``bwd_i`` — the part downstream stages depend
+on) and a **weight-gradient** unit (``bwd_w`` — purely local, free to fill
+pipeline bubbles).  The dependency structure follows Qi et al.'s zero-
+bubble decomposition: ``bwd_i`` of stage *s* needs the stage's forward and
+the ``bwd_i`` of stage *s+1*; ``bwd_w`` only needs the local ``bwd_i``.
 """
 
 from __future__ import annotations
@@ -31,13 +39,19 @@ __all__ = [
     "Schedule",
     "GPipe",
     "OneFOneB",
+    "Eager1F1B",
     "Interleaved1F1B",
+    "ZBH1",
     "validate_schedule",
     "schedule_stats",
+    "iter_unit_deps",
+    "toposort_units",
 ]
 
 FWD = "fwd"
 BWD = "bwd"
+BWD_I = "bwd_i"  # input-gradient half of a split backward (ZB-H1)
+BWD_W = "bwd_w"  # weight-gradient half of a split backward (ZB-H1)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -47,10 +61,11 @@ class Unit:
 
     mb: int
     stage: int
-    kind: str  # "fwd" | "bwd"
+    kind: str  # "fwd" | "bwd" | "bwd_i" | "bwd_w"
 
     def __repr__(self) -> str:
-        return f"{self.kind[0]}{self.stage}({self.mb})"
+        tag = {FWD: "f", BWD: "b", BWD_I: "i", BWD_W: "w"}.get(self.kind, "?")
+        return f"{tag}{self.stage}({self.mb})"
 
 
 class Schedule:
@@ -58,6 +73,12 @@ class Schedule:
 
     n_actors: int
     n_stages: int
+    #: True when units use the split backward (``bwd_i`` + ``bwd_w``)
+    #: instead of a monolithic ``bwd`` — see the module docstring.
+    backward_split: bool = False
+    #: fraction of the full backward cost charged to ``bwd_i`` (the rest
+    #: goes to ``bwd_w``); only meaningful when ``backward_split``.
+    bwd_input_fraction: float = 0.5
 
     def actor_of_stage(self, stage: int) -> int:
         """Actor executing (forward and backward of) ``stage``."""
@@ -203,19 +224,163 @@ class Interleaved1F1B(Schedule):
         return f"Interleaved1F1B(v={self.v})"
 
 
+class Eager1F1B(Schedule):
+    """Eager 1F1B (PipeDream's eager warmup variant): same steady-state
+    one-forward-one-backward alternation as :class:`OneFOneB`, but each
+    rank warms up with ``2 * (p - 1 - rank)`` forwards instead of
+    ``p - 1 - rank``.  The doubled warmup keeps an extra in-flight
+    microbatch per downstream hop, so activation sends are posted well
+    before their recvs are needed — the overlap headroom that hides P2P
+    latency at scale — at the price of roughly twice 1F1B's peak
+    activation memory (still bounded by stages, never by microbatches).
+    """
+
+    def __init__(self, n_stages: int, n_actors: int | None = None):
+        if n_actors is None:
+            n_actors = n_stages
+        if n_stages != n_actors:
+            raise ValueError("Eager1F1B places one stage per actor")
+        self.n_stages = n_stages
+        self.n_actors = n_actors
+
+    def actor_of_stage(self, stage: int) -> int:
+        return stage
+
+    def units(self, n_mbs: int) -> list[list[Unit]]:
+        p = self.n_actors
+        out = []
+        for rank in range(p):
+            warmup = min(2 * (p - 1 - rank), n_mbs)
+            seq = [Unit(i, rank, FWD) for i in range(warmup)]
+            nf, nb = warmup, 0
+            while nb < n_mbs:
+                if nf < n_mbs:
+                    seq.append(Unit(nf, rank, FWD))
+                    nf += 1
+                seq.append(Unit(nb, rank, BWD))
+                nb += 1
+            out.append(seq)
+        return out
+
+
+class ZBH1(Schedule):
+    """Zero-bubble ZB-H1 (Qi et al. 2024): 1F1B with the backward split
+    into an input-gradient unit (``bwd_i``, on the inter-stage critical
+    path) and a weight-gradient unit (``bwd_w``, purely local).
+
+    Weight-gradient work is deferred until either (a) holding more
+    activations would exceed 1F1B's per-rank bound ``p - rank`` or (b) the
+    rank runs out of other work (the cooldown phase, where ``bwd_w`` fills
+    what 1F1B leaves as bubble).  Because downstream stages wait only for
+    the cheaper ``bwd_i``, the backward sweep's critical path shrinks and
+    the bubble drops to roughly a third of 1F1B's, at the same peak
+    activation memory.
+    """
+
+    backward_split = True
+
+    def __init__(self, n_stages: int, n_actors: int | None = None):
+        if n_actors is None:
+            n_actors = n_stages
+        if n_stages != n_actors:
+            raise ValueError("ZBH1 places one stage per actor")
+        self.n_stages = n_stages
+        self.n_actors = n_actors
+
+    def actor_of_stage(self, stage: int) -> int:
+        return stage
+
+    def units(self, n_mbs: int) -> list[list[Unit]]:
+        p = self.n_actors
+        out = []
+        for rank in range(p):
+            bound = p - rank  # 1F1B's peak live-activation count
+            warmup = min(p - 1 - rank, n_mbs)
+            seq = [Unit(i, rank, FWD) for i in range(warmup)]
+            nf, nb, nw = warmup, 0, 0
+            while nb < n_mbs:
+                if nf < n_mbs:
+                    seq.append(Unit(nf, rank, FWD))
+                    nf += 1
+                seq.append(Unit(nb, rank, BWD_I))
+                nb += 1
+                # retire weight-gradients eagerly enough to keep the
+                # activation count at 1F1B's bound
+                while nw < nb and nf - nw >= bound:
+                    seq.append(Unit(nw, rank, BWD_W))
+                    nw += 1
+            while nw < n_mbs:  # cooldown tail: pure bubble-filling
+                seq.append(Unit(nw, rank, BWD_W))
+                nw += 1
+            out.append(seq)
+        return out
+
+    @property
+    def name(self) -> str:
+        return "ZB-H1"
+
+
 # ---------------------------------------------------------------------------
 # validation & analysis
 # ---------------------------------------------------------------------------
 
-def _iter_deps(unit: Unit, n_stages: int) -> Iterator[Unit]:
-    """Units that must complete before ``unit`` may run."""
+def iter_unit_deps(unit: Unit, n_stages: int) -> Iterator[Unit]:
+    """Units that must complete before ``unit`` may run.
+
+    Encodes both the monolithic-backward dependency structure and the
+    zero-bubble split one (a unit's kind determines which applies — a
+    schedule's units are homogeneous in this respect).
+    """
     if unit.kind == FWD:
         if unit.stage > 0:
             yield Unit(unit.mb, unit.stage - 1, FWD)
-    else:
+    elif unit.kind == BWD:
         yield Unit(unit.mb, unit.stage, FWD)
         if unit.stage < n_stages - 1:
             yield Unit(unit.mb, unit.stage + 1, BWD)
+    elif unit.kind == BWD_I:
+        yield Unit(unit.mb, unit.stage, FWD)
+        if unit.stage < n_stages - 1:
+            yield Unit(unit.mb, unit.stage + 1, BWD_I)
+    elif unit.kind == BWD_W:
+        yield Unit(unit.mb, unit.stage, BWD_I)
+    else:  # pragma: no cover - guarded by validate_schedule
+        raise ValueError(f"unknown unit kind {unit.kind!r}")
+
+
+def toposort_units(schedule: Schedule, n_mbs: int) -> list[tuple[int, Unit]]:
+    """Global topological order of a schedule's units as ``(actor, unit)``
+    pairs — greedy over actors in per-actor program order, §4.2's emission
+    order (shared by the compiler, the performance simulator, and the
+    engine benchmarks).
+
+    Raises ``ValueError`` if the schedule cannot be executed.
+    """
+    per_actor = schedule.units(n_mbs)
+    order: list[tuple[int, Unit]] = []
+    done: set[tuple[int, int, str]] = set()
+    pcs = [0] * len(per_actor)
+    total = sum(len(s) for s in per_actor)
+    while len(order) < total:
+        progressed = False
+        for a, seq in enumerate(per_actor):
+            while pcs[a] < len(seq):
+                u = seq[pcs[a]]
+                deps = (
+                    (d.mb, d.stage, d.kind) for d in iter_unit_deps(u, schedule.n_stages)
+                )
+                if not all(d in done for d in deps):
+                    break
+                done.add((u.mb, u.stage, u.kind))
+                order.append((a, u))
+                pcs[a] += 1
+                progressed = True
+        if not progressed:
+            stuck = [seq[pcs[a]] for a, seq in enumerate(per_actor) if pcs[a] < len(seq)]
+            raise ValueError(
+                f"schedule deadlocks (not executable); stuck units: {stuck[:4]}"
+            )
+    return order
 
 
 def validate_schedule(schedule: Schedule, n_mbs: int) -> None:
@@ -227,15 +392,22 @@ def validate_schedule(schedule: Schedule, n_mbs: int) -> None:
     if len(per_actor) != schedule.n_actors:
         raise ValueError("schedule emitted wrong number of actor lists")
 
+    kinds = (FWD, BWD_I, BWD_W) if schedule.backward_split else (FWD, BWD)
     expected = {
         (mb, s, k)
         for mb in range(n_mbs)
         for s in range(schedule.n_stages)
-        for k in (FWD, BWD)
+        for k in kinds
     }
     seen: set[tuple[int, int, str]] = set()
     for actor, seq in enumerate(per_actor):
         for u in seq:
+            if u.kind not in kinds:
+                raise ValueError(
+                    f"unit {u} has kind {u.kind!r}, but this "
+                    f"{'split' if schedule.backward_split else 'monolithic'}"
+                    f"-backward schedule may only emit {kinds}"
+                )
             key = (u.mb, u.stage, u.kind)
             if key in seen:
                 raise ValueError(f"unit {u} scheduled twice")
@@ -249,28 +421,9 @@ def validate_schedule(schedule: Schedule, n_mbs: int) -> None:
         missing = sorted(expected - seen)[:5]
         raise ValueError(f"schedule incomplete; missing units like {missing}")
 
-    # Deadlock-freedom: greedily execute respecting per-actor order and
-    # cross-actor dependencies.
-    done: set[tuple[int, int, str]] = set()
-    pcs = [0] * schedule.n_actors
-    total = sum(len(s) for s in per_actor)
-    while len(done) < total:
-        progress = False
-        for a, seq in enumerate(per_actor):
-            while pcs[a] < len(seq):
-                u = seq[pcs[a]]
-                deps = [
-                    (d.mb, d.stage, d.kind) for d in _iter_deps(u, schedule.n_stages)
-                ]
-                if all(d in done for d in deps):
-                    done.add((u.mb, u.stage, u.kind))
-                    pcs[a] += 1
-                    progress = True
-                else:
-                    break
-        if not progress:
-            stuck = [seq[pcs[a]] for a, seq in enumerate(per_actor) if pcs[a] < len(seq)]
-            raise ValueError(f"schedule deadlocks; stuck units: {stuck[:4]}")
+    # Deadlock-freedom: the greedy topological walk must cover every unit
+    # (raises ValueError naming the stuck units otherwise).
+    toposort_units(schedule, n_mbs)
 
 
 def schedule_stats(
@@ -284,7 +437,21 @@ def schedule_stats(
     Returns makespan, per-actor busy/idle (bubble) time, and peak count of
     live activations per actor — the quantities behind §2.2.1's memory and
     §5.1's throughput discussions.
+
+    For split-backward schedules the full backward cost is divided between
+    the input-gradient and weight-gradient units according to the
+    schedule's ``bwd_input_fraction``; an activation is held from its
+    forward until its weight-gradient unit retires it.
     """
+
+    def unit_time(u: Unit) -> float:
+        if u.kind == FWD:
+            return fwd_time
+        if u.kind == BWD:
+            return bwd_time
+        f = schedule.bwd_input_fraction
+        return bwd_time * (f if u.kind == BWD_I else 1.0 - f)
+
     per_actor = schedule.units(n_mbs)
     finish: dict[tuple[int, int, str], float] = {}
     actor_time = [0.0] * schedule.n_actors
@@ -298,20 +465,19 @@ def schedule_stats(
         for a, seq in enumerate(per_actor):
             while pcs[a] < len(seq):
                 u = seq[pcs[a]]
-                deps = list(_iter_deps(u, schedule.n_stages))
+                deps = list(iter_unit_deps(u, schedule.n_stages))
                 if not all((d.mb, d.stage, d.kind) in finish for d in deps):
                     break
                 start = max(
                     [actor_time[a]] + [finish[(d.mb, d.stage, d.kind)] for d in deps]
                 )
-                dur = fwd_time if u.kind == FWD else bwd_time
-                end = start + dur
+                end = start + unit_time(u)
                 finish[(u.mb, u.stage, u.kind)] = end
                 actor_time[a] = end
                 if u.kind == FWD:
                     live[a] += 1
                     peak_live[a] = max(peak_live[a], live[a])
-                else:
+                elif u.kind in (BWD, BWD_W):
                     live[a] -= 1
                 pcs[a] += 1
                 executed += 1
@@ -319,9 +485,7 @@ def schedule_stats(
         if not progress:  # pragma: no cover - guarded by validate_schedule
             raise ValueError("schedule deadlocks")
     makespan = max(actor_time)
-    busy = [
-        sum(fwd_time if u.kind == FWD else bwd_time for u in seq) for seq in per_actor
-    ]
+    busy = [sum(unit_time(u) for u in seq) for seq in per_actor]
     return {
         "makespan": makespan,
         "busy": busy,

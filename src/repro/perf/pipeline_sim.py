@@ -14,7 +14,19 @@ import dataclasses
 
 from repro.cluster.specs import NodeSpec
 from repro.cluster.topology import Topology
-from repro.core.schedules import BWD, FWD, GPipe, Interleaved1F1B, OneFOneB, Schedule
+from repro.core.schedules import (
+    BWD,
+    BWD_I,
+    BWD_W,
+    FWD,
+    Eager1F1B,
+    GPipe,
+    Interleaved1F1B,
+    OneFOneB,
+    Schedule,
+    ZBH1,
+    toposort_units,
+)
 from repro.perf import comms
 from repro.perf.kernels import KernelModel
 from repro.perf.memory import RematDecision, decide_remat
@@ -38,7 +50,8 @@ class PipelineSimConfig:
         mbs: microbatch size (sequences).
         n_mbs: microbatches per pipeline per step (gradient accumulation).
         kernels: software-stack kernel model.
-        schedule: ``"interleaved"`` / ``"1f1b"`` / ``"gpipe"``.
+        schedule: ``"interleaved"`` / ``"1f1b"`` / ``"gpipe"`` /
+            ``"eager1f1b"`` / ``"zbh1"``.
         comm_mode: ASYNC (JaxPP overlapped P2P) or SYNC (blocking baseline).
     """
 
@@ -86,6 +99,14 @@ class PipelineSimConfig:
             if self.v != 1:
                 raise ValueError("use schedule='interleaved' for v > 1")
             return OneFOneB(self.pp)
+        if self.schedule == "eager1f1b":
+            if self.v != 1:
+                raise ValueError("Eager1F1B has no circular repeat")
+            return Eager1F1B(self.pp)
+        if self.schedule == "zbh1":
+            if self.v != 1:
+                raise ValueError("ZB-H1 has no circular repeat")
+            return ZBH1(self.pp)
         if self.schedule == "interleaved":
             return Interleaved1F1B(self.pp, self.v)
         raise ValueError(f"unknown schedule {self.schedule!r}")
@@ -187,10 +208,10 @@ def simulate_pipeline(cfg: PipelineSimConfig) -> SimResult:
         """(source actor, uid) of the cross-actor input of unit ``u``."""
         if u.kind == FWD and u.stage > 0:
             src_stage, kind = u.stage - 1, FWD
-        elif u.kind == BWD and u.stage < n_stages - 1:
-            src_stage, kind = u.stage + 1, BWD
+        elif u.kind in (BWD, BWD_I) and u.stage < n_stages - 1:
+            src_stage, kind = u.stage + 1, u.kind
         else:
-            return None
+            return None  # boundary stages and local weight-gradient units
         src = sched.actor_of_stage(src_stage)
         if src == sched.actor_of_stage(u.stage):
             return None
@@ -200,28 +221,46 @@ def simulate_pipeline(cfg: PipelineSimConfig) -> SimResult:
         """Destination actor of unit ``u``'s output, if cross-actor."""
         if u.kind == FWD and u.stage < n_stages - 1:
             dst_stage = u.stage + 1
-        elif u.kind == BWD and u.stage > 0:
+        elif u.kind in (BWD, BWD_I) and u.stage > 0:
             dst_stage = u.stage - 1
         else:
             return None
         dst = sched.actor_of_stage(dst_stage)
         return None if dst == sched.actor_of_stage(u.stage) else dst
 
+    remat_extra = remat.extra_fwd_fraction * kern.block_time(
+        model, gpu, chunk, cfg.mbs, cfg.tp, "fwd"
+    )
+
     def make_task(u) -> RunTask:
         in_refs = []
         inc = incoming(u)
         if inc is not None:
             in_refs.append(BufferRef(inc[1]))
-        cost = fwd_cost(u.stage) if u.kind == FWD else bwd_cost(u.stage)
-        is_remat = remat.extra_fwd_fraction > 0 and u.kind == BWD
+        is_remat = False
+        if u.kind == FWD:
+            cost = fwd_cost(u.stage)
+        elif u.kind == BWD:
+            cost = bwd_cost(u.stage)
+            is_remat = remat.extra_fwd_fraction > 0
+        elif u.kind == BWD_I:
+            # activation recompute must precede the input gradient, so the
+            # remat surcharge lands on this half of the split backward
+            cost = (bwd_cost(u.stage) - remat_extra) * sched.bwd_input_fraction + remat_extra
+            is_remat = remat.extra_fwd_fraction > 0
+        else:  # BWD_W: the deferred, purely local weight-gradient half
+            in_refs.append(BufferRef(uid(u.mb, u.stage, BWD_I)))
+            cost = (bwd_cost(u.stage) - remat_extra) * (1.0 - sched.bwd_input_fraction)
+        glyph = {FWD: "f", BWD: "b", BWD_I: "bi", BWD_W: "w"}[u.kind]
         return RunTask(
-            name=f"{u.kind[0]}{u.stage}({u.mb})",
+            name=f"{glyph}{u.stage}({u.mb})",
             in_refs=in_refs,
             out_refs=[BufferRef(uid(u.mb, u.stage, u.kind))],
             fn=None,
             cost=cost,
             meta={"kind": u.kind, "stage": u.stage, "mb": u.mb,
-                  "out_nbytes": [int(boundary)], "remat": is_remat},
+                  "out_nbytes": [int(boundary) if u.kind != BWD_W else 0],
+                  "remat": is_remat},
         )
 
     # Per-iteration recv->compute->send ordering is only deadlock-free for
@@ -232,31 +271,7 @@ def simulate_pipeline(cfg: PipelineSimConfig) -> SimResult:
     if not use_iter_order:
         # JaxPP emission (§4.2): global topological order, send+recv posted
         # the moment the producer runs -> receivers prefetch.
-        order = []
-        done: set[tuple[int, int, str]] = set()
-        pcs = [0] * cfg.pp
-        total = sum(len(s) for s in per_actor)
-        while len(order) < total:
-            moved = False
-            for a, seq in enumerate(per_actor):
-                while pcs[a] < len(seq):
-                    u = seq[pcs[a]]
-                    deps = []
-                    if u.kind == FWD and u.stage > 0:
-                        deps.append((u.mb, u.stage - 1, FWD))
-                    if u.kind == BWD:
-                        deps.append((u.mb, u.stage, FWD))
-                        if u.stage < n_stages - 1:
-                            deps.append((u.mb, u.stage + 1, BWD))
-                    if not all(d in done for d in deps):
-                        break
-                    done.add((u.mb, u.stage, u.kind))
-                    order.append((a, u))
-                    pcs[a] += 1
-                    moved = True
-            if not moved:  # pragma: no cover - schedules are pre-validated
-                raise RuntimeError("schedule not executable")
-        for a, u in order:
+        for a, u in toposort_units(sched, cfg.n_mbs):
             programs[a].append(make_task(u))
             dst = outgoing(u)
             if dst is not None:

@@ -1,4 +1,4 @@
-"""Deterministic dataflow executor for per-actor instruction streams.
+"""Event-driven dataflow executor for per-actor instruction streams.
 
 This is the reproduction's stand-in for the paper's Ray+NCCL runtime (§4):
 each actor owns an object store and a fused instruction stream; point-to-
@@ -6,6 +6,46 @@ point transfers use **pairwise-FIFO matching** (the k-th send from A to B
 matches the k-th recv from A posted on B — NCCL's ordering contract from
 §4.2), so a mis-ordered schedule genuinely deadlocks (Figure 5) and the
 executor reports it instead of hanging.
+
+Engine design
+=============
+
+Instruction *semantics* live in :class:`_RunState.step`, which executes one
+instruction of one actor and either makes progress or returns a
+:class:`_Wait` naming the exact resource the actor is blocked on.  Two
+interchangeable scheduling loops drive ``step``:
+
+- ``engine="event"`` (default) — an **event-driven engine**: a ready-queue
+  keyed on virtual time (a heap of ``(actor.time, seq, actor)``) plus
+  per-resource wait-lists.  A blocked actor parks on exactly one waiter
+  entry — a buffer arrival ``(actor, uid)``, a posted send/recv awaiting
+  its channel match, or an all-reduce rendezvous key — and is re-enqueued
+  only when that resource changes (a ``put`` delivers the buffer, a match
+  completes the transfer, the last rendezvous participant arrives).  Each
+  instruction is therefore visited O(1) times: once to run or park, once
+  per genuine dependency arrival.
+
+- ``engine="roundrobin"`` — the original fixpoint loop, kept as the
+  differential-testing reference: every pass re-polls every blocked actor
+  until nothing progresses.  Correct, but blocked instructions are
+  re-scanned on every pass (quadratic in the worst case), which made it
+  the hot path of figure regeneration.
+
+Both engines share ``step`` verbatim, so they are semantically identical
+by construction; ``tests/runtime/test_engine_equivalence.py`` checks the
+results are bit-identical anyway.  :class:`ExecutionResult` carries two
+scheduling counters for the comparison:
+
+- ``visits`` — total ``step`` invocations by the scheduling loop;
+- ``repolls`` — visits that found an instruction still parked on the
+  *unchanged* wait condition (pure wasted polls).  The event engine's
+  precise wake-ups make this structurally zero; the round-robin reference
+  accrues one per blocked actor per pass.
+
+Deadlocks are reported deterministically with a wait-for-graph diagnostic:
+each stuck actor's program counter, instruction, and the buffer / channel /
+rendezvous it is blocked on, plus the actor-level wait-for cycle when one
+exists.
 
 Two communication modes:
 
@@ -27,8 +67,9 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import heapq
 from collections import deque
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.runtime.clock import CostModel, ZeroCost
 from repro.runtime.instructions import (
@@ -50,7 +91,10 @@ __all__ = [
     "TimelineEvent",
     "ExecutionResult",
     "MpmdExecutor",
+    "ENGINES",
 ]
+
+ENGINES = ("event", "roundrobin")
 
 
 class CommMode(enum.Enum):
@@ -92,6 +136,11 @@ class ExecutionResult:
         actor_finish: per-actor completion times.
         p2p_bytes: total bytes moved point-to-point.
         p2p_count: number of point-to-point transfers.
+        engine: which scheduling loop produced this result.
+        visits: total instruction visits by the scheduling loop.
+        repolls: visits that re-examined an instruction still blocked on an
+            unchanged wait condition (pure scheduler waste; zero under the
+            event engine).
     """
 
     makespan: float
@@ -99,6 +148,9 @@ class ExecutionResult:
     actor_finish: list[float]
     p2p_bytes: int
     p2p_count: int
+    engine: str = "event"
+    visits: int = 0
+    repolls: int = 0
 
 
 @dataclasses.dataclass
@@ -111,6 +163,8 @@ class _PostedSend:
     src: int
     # filled at match time:
     end_time: float | None = None
+    # actor id parked on this post's completion (event engine, SYNC mode)
+    waiter: int | None = None
 
 
 @dataclasses.dataclass
@@ -121,6 +175,30 @@ class _PostedRecv:
     post_time: float
     dst: int
     end_time: float | None = None
+    waiter: int | None = None
+
+
+@dataclasses.dataclass
+class _Wait:
+    """Why an actor's current instruction cannot run.
+
+    Attributes:
+        kind: ``"buffer"`` (a store put on ``key = (actor, uid)``),
+            ``"match"`` (a posted send/recv awaiting its channel match), or
+            ``"allreduce"`` (rendezvous on ``key = group_key``).
+        key: the resource identity the engine parks the actor on.
+        note: human-readable description for deadlock diagnostics.
+        post: the posted comm op (``kind == "match"`` only).
+        peers: actors this wait depends on, for the wait-for graph
+            (unknown peers — e.g. a buffer nobody has promised — are
+            resolved at diagnostic time from posted recvs).
+    """
+
+    kind: str
+    key: Any
+    note: str
+    post: Any = None
+    peers: tuple[int, ...] = ()
 
 
 class _Actor:
@@ -130,9 +208,13 @@ class _Actor:
         self.store = store
         self.pc = 0
         self.time = 0.0  # device lane availability
-        # uid -> transfer end time (None until matched) for outstanding sends
+        # uid -> posted send (None end_time until matched) for outstanding sends
         self.outstanding_sends: dict[str, _PostedSend] = {}
         self.posted: set[int] = set()  # pcs whose comm op has been posted
+        self.posted_ops: dict[int, Any] = {}  # pc -> posted send/recv
+        # last wait signature, for repoll accounting and diagnostics
+        self.last_wait_sig: tuple | None = None
+        self.wait: _Wait | None = None
 
     @property
     def done(self) -> bool:
@@ -142,12 +224,388 @@ class _Actor:
         return None if self.done else self.program[self.pc]
 
 
+def _noop_put(actor_id: int, uid: str) -> None:
+    return None
+
+
+def _noop_match(post: Any) -> None:
+    return None
+
+
+def _noop_allreduce(group_key: str) -> None:
+    return None
+
+
+class _RunState:
+    """Mutable state of one :meth:`MpmdExecutor.execute` call.
+
+    Holds the channels, arrival clocks, rendezvous state, timeline, and the
+    shared single-instruction interpreter (:meth:`step`).  The scheduling
+    loops plug into the ``on_put`` / ``on_match`` / ``on_allreduce`` hooks
+    to learn when a blocked actor's resource changed; the round-robin
+    reference leaves them as no-ops and simply re-polls.
+    """
+
+    def __init__(
+        self,
+        actors: list[_Actor],
+        stores: list[ObjectStore],
+        cost: CostModel,
+        comm_mode: CommMode,
+    ):
+        self.actors = actors
+        self.stores = stores
+        self.cost = cost
+        self.comm_mode = comm_mode
+        self.channels: dict[tuple[int, int], tuple[deque, deque]] = {}
+        self.arrivals: dict[tuple[int, str], float] = {}
+        self.allreduce_posts: dict[str, dict[int, tuple[float, BufferRef]]] = {}
+        self.allreduce_done: set[str] = set()
+        self.timeline: list[TimelineEvent] = []
+        self.p2p_bytes = 0
+        self.p2p_count = 0
+        self.visits = 0
+        self.repolls = 0
+        # engine hooks (event engine overrides these)
+        self.on_put: Callable[[int, str], None] = _noop_put
+        self.on_match: Callable[[Any], None] = _noop_match
+        self.on_allreduce: Callable[[str], None] = _noop_allreduce
+
+    # -- shared helpers ---------------------------------------------------------
+    def channel(self, src: int, dst: int) -> tuple[deque, deque]:
+        return self.channels.setdefault((src, dst), (deque(), deque()))
+
+    def ready_time(self, actor: _Actor, refs: Sequence[BufferRef]) -> float:
+        t = actor.time
+        for r in refs:
+            t = max(t, self.arrivals.get((actor.id, r.uid), 0.0))
+        return t
+
+    def try_match(self, src: int, dst: int) -> None:
+        sends, recvs = self.channel(src, dst)
+        while sends and recvs:
+            s: _PostedSend = sends.popleft()
+            r: _PostedRecv = recvs.popleft()
+            if s.key != r.key:
+                raise CommMismatchError(
+                    f"send/recv order mismatch on channel {src}->{dst}: "
+                    f"send key {s.key!r} met recv key {r.key!r} "
+                    "(NCCL would deadlock or corrupt data here)"
+                )
+            nbytes = s.nbytes
+            start = max(s.post_time, r.post_time)
+            dur = self.cost.transfer_time(nbytes, src, dst)
+            end = start + dur
+            s.end_time = end
+            r.end_time = end
+            self.actors[dst].store.put(r.ref, s.value, nbytes)
+            self.arrivals[(dst, r.ref.uid)] = end
+            self.p2p_bytes += nbytes
+            self.p2p_count += 1
+            self.timeline.append(TimelineEvent(src, "send", s.key, start, end, nbytes))
+            self.timeline.append(TimelineEvent(dst, "recv", r.key, start, end, nbytes))
+            self.on_put(dst, r.ref.uid)
+            self.on_match(s)
+            self.on_match(r)
+
+    def flush_pending_deletes(self, actor: _Actor) -> None:
+        still = []
+        for ref in actor.store.pending_deletions:
+            posted = actor.outstanding_sends.get(ref.uid)
+            if posted is not None and posted.end_time is None:
+                still.append(ref)
+            else:
+                actor.outstanding_sends.pop(ref.uid, None)
+                actor.store.delete(ref)
+        actor.store.pending_deletions = still
+
+    # -- the instruction interpreter -------------------------------------------
+    def step(self, actor: _Actor) -> _Wait | None:
+        """Execute the actor's current instruction.
+
+        Returns ``None`` on progress (pc advanced, possibly after posting a
+        comm op) or a :class:`_Wait` naming the blocking resource.
+        """
+        self.visits += 1
+        wait = self._step_instr(actor)
+        if wait is None:
+            actor.last_wait_sig = None
+            actor.wait = None
+        else:
+            sig = (actor.pc, wait.kind, wait.key)
+            if actor.last_wait_sig == sig:
+                self.repolls += 1
+            actor.last_wait_sig = sig
+            actor.wait = wait
+        return wait
+
+    def _step_instr(self, actor: _Actor) -> _Wait | None:
+        instr = actor.current()
+        assert instr is not None
+
+        if isinstance(instr, RunTask):
+            for r in instr.in_refs:
+                if r not in actor.store:
+                    return _Wait(
+                        "buffer", (actor.id, r.uid),
+                        f"buffer {r.uid!r} on actor {actor.id}",
+                    )
+            start = self.ready_time(actor, instr.in_refs)
+            overhead = self.cost.dispatch_overhead()
+            dur = self.cost.task_time(instr.cost, instr.meta)
+            end = start + overhead + dur
+            if instr.fn is not None:
+                invals = [actor.store.get(r).value for r in instr.in_refs]
+                outvals = instr.fn(invals)
+                if len(outvals) != len(instr.out_refs):
+                    raise RuntimeError(
+                        f"task {instr.name} returned {len(outvals)} values "
+                        f"for {len(instr.out_refs)} out_refs"
+                    )
+                out_nbytes = instr.meta.get("out_nbytes", [0] * len(instr.out_refs))
+                for ref, val, nb in zip(instr.out_refs, outvals, out_nbytes):
+                    actor.store.put(ref, val, nb if nb else getattr(val, "nbytes", 0))
+                    self.arrivals[(actor.id, ref.uid)] = end
+                    self.on_put(actor.id, ref.uid)
+            else:
+                out_nbytes = instr.meta.get("out_nbytes", [0] * len(instr.out_refs))
+                for ref, nb in zip(instr.out_refs, out_nbytes):
+                    actor.store.put(ref, None, nb)
+                    self.arrivals[(actor.id, ref.uid)] = end
+                    self.on_put(actor.id, ref.uid)
+            actor.time = end
+            self.timeline.append(
+                TimelineEvent(actor.id, "task", instr.name, start, end, meta=dict(instr.meta))
+            )
+            actor.pc += 1
+            return None
+
+        if isinstance(instr, Send):
+            if actor.pc not in actor.posted:
+                if instr.ref not in actor.store:
+                    # value not produced yet (compiler bug upstream)
+                    return _Wait(
+                        "buffer", (actor.id, instr.ref.uid),
+                        f"buffer {instr.ref.uid!r} on actor {actor.id} (send operand)",
+                    )
+                buf = actor.store.get(instr.ref)
+                post = _PostedSend(
+                    instr.ref, instr.key, buf.value, buf.nbytes,
+                    self.ready_time(actor, [instr.ref]), actor.id,
+                )
+                self.channel(actor.id, instr.dst)[0].append(post)
+                actor.outstanding_sends[instr.ref.uid] = post
+                actor.posted.add(actor.pc)
+                actor.posted_ops[actor.pc] = post
+                self.try_match(actor.id, instr.dst)
+                if self.comm_mode is CommMode.ASYNC:
+                    actor.pc += 1
+                    return None
+            # SYNC: posted, block until the pairwise match completes
+            post = actor.posted_ops[actor.pc]
+            if post.end_time is None:
+                return _Wait(
+                    "match", ("send", actor.id, instr.dst, post.key),
+                    f"recv of {post.key!r} on channel {actor.id}->{instr.dst}",
+                    post=post, peers=(instr.dst,),
+                )
+            actor.time = max(actor.time, post.end_time)
+            actor.pc += 1
+            return None
+
+        if isinstance(instr, Recv):
+            if actor.pc not in actor.posted:
+                post = _PostedRecv(instr.ref, instr.key, instr.nbytes, actor.time, actor.id)
+                self.channel(instr.src, actor.id)[1].append(post)
+                actor.posted.add(actor.pc)
+                actor.posted_ops[actor.pc] = post
+                self.try_match(instr.src, actor.id)
+                if self.comm_mode is CommMode.ASYNC:
+                    actor.pc += 1
+                    return None
+            post = actor.posted_ops[actor.pc]
+            if post.end_time is None:
+                return _Wait(
+                    "match", ("recv", instr.src, actor.id, post.key),
+                    f"send of {post.key!r} on channel {instr.src}->{actor.id}",
+                    post=post, peers=(instr.src,),
+                )
+            actor.time = max(actor.time, post.end_time)
+            actor.pc += 1
+            return None
+
+        if isinstance(instr, Delete):
+            self.flush_pending_deletes(actor)
+            posted = actor.outstanding_sends.get(instr.ref.uid)
+            if posted is not None and posted.end_time is None:
+                actor.store.pending_deletions.append(instr.ref)
+            else:
+                actor.outstanding_sends.pop(instr.ref.uid, None)
+                actor.store.delete(instr.ref)
+            actor.pc += 1
+            return None
+
+        if isinstance(instr, Accumulate):
+            if instr.value not in actor.store:
+                return _Wait(
+                    "buffer", (actor.id, instr.value.uid),
+                    f"buffer {instr.value.uid!r} on actor {actor.id} (accumulate operand)",
+                )
+            start = self.ready_time(
+                actor, [instr.value] + ([instr.acc] if instr.acc in actor.store else [])
+            )
+            vbuf = actor.store.get(instr.value)
+            if instr.acc in actor.store:
+                abuf = actor.store.get(instr.acc)
+                if abuf.value is not None and vbuf.value is not None:
+                    actor.store.update(instr.acc, abuf.value + vbuf.value)
+            else:
+                actor.store.put(instr.acc, vbuf.value, vbuf.nbytes)
+                self.on_put(actor.id, instr.acc.uid)
+            self.arrivals[(actor.id, instr.acc.uid)] = start
+            if instr.delete_value:
+                actor.store.delete(instr.value)
+            self.timeline.append(TimelineEvent(actor.id, "accum", instr.acc.uid, start, start))
+            actor.pc += 1
+            return None
+
+        if isinstance(instr, AllReduce):
+            posts = self.allreduce_posts.setdefault(instr.group_key, {})
+            if actor.id not in posts:
+                if instr.ref not in actor.store:
+                    return _Wait(
+                        "buffer", (actor.id, instr.ref.uid),
+                        f"buffer {instr.ref.uid!r} on actor {actor.id} (all-reduce operand)",
+                    )
+                posts[actor.id] = (self.ready_time(actor, [instr.ref]), instr.ref)
+                if set(posts) == set(instr.group):
+                    # rendezvous complete: release the parked participants
+                    self.on_allreduce(instr.group_key)
+            if set(posts) != set(instr.group):
+                missing = tuple(sorted(set(instr.group) - set(posts)))
+                return _Wait(
+                    "allreduce", instr.group_key,
+                    f"all-reduce rendezvous {instr.group_key!r} "
+                    f"(missing actors {list(missing)})",
+                    peers=missing,
+                )
+            start = max(t for t, _ in posts.values())
+            buf0 = actor.store.get(instr.ref)
+            dur = self.cost.collective_time(buf0.nbytes, instr.group)
+            end = start + dur
+            # First actor to observe completion computes the reduction for
+            # the whole group (deterministic order); the collective's
+            # timeline event is attributed to the lowest-id participant so
+            # both engines record identical timelines.
+            if instr.group_key not in self.allreduce_done:
+                vals = [
+                    self.stores[a].get(ref).value for a, (_, ref) in sorted(posts.items())
+                ]
+                total = None
+                if all(v is not None for v in vals):
+                    total = vals[0]
+                    for v in vals[1:]:
+                        total = total + v
+                for a, (_, ref) in posts.items():
+                    if total is not None:
+                        self.stores[a].update(ref, total)
+                    self.arrivals[(a, ref.uid)] = end
+                self.allreduce_done.add(instr.group_key)
+                self.timeline.append(
+                    TimelineEvent(
+                        min(instr.group), "allreduce", instr.group_key, start, end, buf0.nbytes
+                    )
+                )
+            actor.time = max(actor.time, end)
+            actor.pc += 1
+            return None
+
+        raise TypeError(f"unknown instruction {instr!r}")
+
+    # -- deadlock diagnostics ---------------------------------------------------
+    def raise_deadlock(self) -> None:
+        """Build the wait-for-graph diagnostic and raise DeadlockError."""
+        stuck = [a for a in self.actors if not a.done]
+        edges: dict[int, tuple[int, ...]] = {}
+        lines = []
+        for a in stuck:
+            wait = a.wait
+            if wait is None:  # blocked without a recorded wait (defensive)
+                lines.append(f"  actor {a.id} stuck at [{a.pc}] {a.current()!r}")
+                continue
+            peers = wait.peers
+            if wait.kind == "buffer" and not peers:
+                # a buffer nobody delivered: if this actor has an unmatched
+                # posted recv for the uid, the sender is the missing peer
+                _, uid = wait.key
+                found = []
+                for (src, dst), (_, recvs) in self.channels.items():
+                    if dst != a.id:
+                        continue
+                    for r in recvs:
+                        if r.ref.uid == uid:
+                            found.append(src)
+                peers = tuple(sorted(set(found)))
+            edges[a.id] = peers
+            via = f" (via actor{'s' if len(peers) > 1 else ''} {sorted(peers)})" if peers else ""
+            lines.append(
+                f"  actor {a.id} stuck at [{a.pc}] {a.current()!r}: "
+                f"waiting for {wait.note}{via}"
+            )
+        cycle = _find_cycle(edges)
+        graph = ", ".join(
+            f"{a}->{{{','.join(map(str, ps))}}}" for a, ps in sorted(edges.items()) if ps
+        )
+        msg = "no actor can make progress:\n" + "\n".join(lines)
+        if graph:
+            msg += f"\nwait-for graph: {graph}"
+        if cycle:
+            msg += f"\nwait-for cycle: {' -> '.join(map(str, cycle))}"
+        raise DeadlockError(msg)
+
+
+def _find_cycle(edges: dict[int, tuple[int, ...]]) -> list[int] | None:
+    """First wait-for cycle among stuck actors (deterministic DFS order)."""
+    finished: set[int] = set()
+    for root in sorted(edges):
+        if root in finished:
+            continue
+        path = [root]
+        on_path = {root: 0}
+        stack = [iter(sorted(edges.get(root, ())))]
+        while stack:
+            advanced = False
+            for nxt in stack[-1]:
+                if nxt in on_path:
+                    return path[on_path[nxt]:] + [nxt]
+                if nxt not in finished and nxt in edges:
+                    on_path[nxt] = len(path)
+                    path.append(nxt)
+                    stack.append(iter(sorted(edges.get(nxt, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                node = path.pop()
+                on_path.pop(node, None)
+                finished.add(node)
+    return None
+
+
 class MpmdExecutor:
     """Executes per-actor instruction streams over persistent object stores.
 
     The object stores persist across :meth:`execute` calls, so weights live
     on their actors between training steps (the paper's "long-lived SPMD
     actors").
+
+    Args:
+        n_actors: number of actors (one program per actor).
+        cost_model: virtual-time provider (default ``ZeroCost``).
+        comm_mode: point-to-point semantics.
+        engine: ``"event"`` (default, O(1) visits per instruction) or
+            ``"roundrobin"`` (the polling-fixpoint reference; identical
+            results, kept for differential testing).
     """
 
     def __init__(
@@ -155,10 +613,14 @@ class MpmdExecutor:
         n_actors: int,
         cost_model: CostModel | None = None,
         comm_mode: CommMode = CommMode.ASYNC,
+        engine: str = "event",
     ):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.n_actors = n_actors
         self.cost = cost_model or ZeroCost()
         self.comm_mode = comm_mode
+        self.engine = engine
         self.stores = [ObjectStore(i) for i in range(n_actors)]
 
     # -- store management (driver-facing) -------------------------------------
@@ -194,234 +656,104 @@ class MpmdExecutor:
 
         Raises:
             DeadlockError: if no actor can progress (mis-ordered send/recv
-                under SYNC mode, or a genuine scheduling bug).
+                under SYNC mode, or a genuine scheduling bug). The message
+                includes each stuck actor's blocking resource and the
+                wait-for cycle.
             CommMismatchError: if a matched send/recv pair disagrees on keys.
         """
         if len(programs) != self.n_actors:
             raise ValueError(f"expected {self.n_actors} programs, got {len(programs)}")
-        actors = [
-            _Actor(i, prog, self.stores[i]) for i, prog in enumerate(programs)
-        ]
-        channels: dict[tuple[int, int], tuple[deque, deque]] = {}
-        arrivals: dict[tuple[int, str], float] = {}
-        allreduce_posts: dict[str, dict[int, tuple[float, BufferRef]]] = {}
-        timeline: list[TimelineEvent] = []
-        p2p_bytes = 0
-        p2p_count = 0
+        actors = [_Actor(i, prog, self.stores[i]) for i, prog in enumerate(programs)]
+        state = _RunState(actors, self.stores, self.cost, self.comm_mode)
 
-        def channel(src: int, dst: int) -> tuple[deque, deque]:
-            return channels.setdefault((src, dst), (deque(), deque()))
+        if self.engine == "event":
+            self._drive_event(state)
+        else:
+            self._drive_roundrobin(state)
 
-        def ready_time(actor: _Actor, refs: Sequence[BufferRef]) -> float:
-            t = actor.time
-            for r in refs:
-                t = max(t, arrivals.get((actor.id, r.uid), 0.0))
-            return t
+        if not all(a.done for a in actors):
+            state.raise_deadlock()
 
-        def try_match(src: int, dst: int) -> None:
-            nonlocal p2p_bytes, p2p_count
-            sends, recvs = channel(src, dst)
-            while sends and recvs:
-                s: _PostedSend = sends.popleft()
-                r: _PostedRecv = recvs.popleft()
-                if s.key != r.key:
-                    raise CommMismatchError(
-                        f"send/recv order mismatch on channel {src}->{dst}: "
-                        f"send key {s.key!r} met recv key {r.key!r} "
-                        "(NCCL would deadlock or corrupt data here)"
-                    )
-                nbytes = s.nbytes
-                start = max(s.post_time, r.post_time)
-                dur = self.cost.transfer_time(nbytes, src, dst)
-                end = start + dur
-                s.end_time = end
-                r.end_time = end
-                actors[dst].store.put(r.ref, s.value, nbytes)
-                arrivals[(dst, r.ref.uid)] = end
-                p2p_bytes += nbytes
-                p2p_count += 1
-                timeline.append(TimelineEvent(src, "send", s.key, start, end, nbytes))
-                timeline.append(TimelineEvent(dst, "recv", r.key, start, end, nbytes))
+        # final pending deletions (sends all matched by now or program bug)
+        for actor in actors:
+            state.flush_pending_deletes(actor)
 
-        def flush_pending_deletes(actor: _Actor) -> None:
-            still = []
-            for ref in actor.store.pending_deletions:
-                posted = actor.outstanding_sends.get(ref.uid)
-                if posted is not None and posted.end_time is None:
-                    still.append(ref)
-                else:
-                    actor.outstanding_sends.pop(ref.uid, None)
-                    actor.store.delete(ref)
-            actor.store.pending_deletions = still
+        # fully deterministic order so both engines emit identical timelines
+        state.timeline.sort(key=lambda e: (e.start, e.actor, e.end, e.kind, e.name))
+        finish = [a.time for a in actors]
+        return ExecutionResult(
+            makespan=max(finish) if finish else 0.0,
+            timeline=state.timeline,
+            actor_finish=finish,
+            p2p_bytes=state.p2p_bytes,
+            p2p_count=state.p2p_count,
+            engine=self.engine,
+            visits=state.visits,
+            repolls=state.repolls,
+        )
 
-        def step(actor: _Actor) -> bool:
-            """Try to execute the actor's current instruction. Returns True
-            on progress (pc advanced or a comm op newly posted)."""
-            instr = actor.current()
-            if instr is None:
-                return False
+    # -- scheduling loops --------------------------------------------------------
+    def _drive_event(self, state: _RunState) -> None:
+        """Ready-queue + wait-list scheduler (see module docstring)."""
+        actors = state.actors
+        ready: list[tuple[float, int, int]] = []  # (virtual time, seq, actor id)
+        seq = 0
+        scheduled = [False] * len(actors)
+        buffer_waiters: dict[tuple[int, str], list[int]] = {}
+        allreduce_waiters: dict[str, list[int]] = {}
 
-            if isinstance(instr, RunTask):
-                for r in instr.in_refs:
-                    if r not in actor.store:
-                        return False  # waiting on a recv to deliver
-                start = ready_time(actor, instr.in_refs)
-                overhead = self.cost.dispatch_overhead()
-                dur = self.cost.task_time(instr.cost, instr.meta)
-                end = start + overhead + dur
-                if instr.fn is not None:
-                    invals = [actor.store.get(r).value for r in instr.in_refs]
-                    outvals = instr.fn(invals)
-                    if len(outvals) != len(instr.out_refs):
-                        raise RuntimeError(
-                            f"task {instr.name} returned {len(outvals)} values "
-                            f"for {len(instr.out_refs)} out_refs"
-                        )
-                    for ref, val, nb in zip(instr.out_refs, outvals, instr.meta.get("out_nbytes", [0] * len(instr.out_refs))):
-                        actor.store.put(ref, val, nb if nb else getattr(val, "nbytes", 0))
-                        arrivals[(actor.id, ref.uid)] = end
-                else:
-                    for ref, nb in zip(instr.out_refs, instr.meta.get("out_nbytes", [0] * len(instr.out_refs))):
-                        actor.store.put(ref, None, nb)
-                        arrivals[(actor.id, ref.uid)] = end
-                actor.time = end
-                timeline.append(
-                    TimelineEvent(actor.id, "task", instr.name, start, end, meta=dict(instr.meta))
-                )
-                actor.pc += 1
-                return True
+        def wake(aid: int) -> None:
+            nonlocal seq
+            if scheduled[aid] or actors[aid].done:
+                return
+            scheduled[aid] = True
+            heapq.heappush(ready, (actors[aid].time, seq, aid))
+            seq += 1
 
-            if isinstance(instr, Send):
-                if actor.pc not in actor.posted:
-                    if instr.ref not in actor.store:
-                        return False  # value not produced yet (compiler bug upstream)
-                    buf = actor.store.get(instr.ref)
-                    post = _PostedSend(
-                        instr.ref, instr.key, buf.value, buf.nbytes,
-                        ready_time(actor, [instr.ref]), actor.id,
-                    )
-                    channel(actor.id, instr.dst)[0].append(post)
-                    actor.outstanding_sends[instr.ref.uid] = post
-                    actor.posted.add(actor.pc)
-                    try_match(actor.id, instr.dst)
-                    if self.comm_mode is CommMode.ASYNC:
-                        actor.pc += 1
-                    return True
-                # SYNC: already posted, waiting for the match to complete
-                post = actor.outstanding_sends[instr.ref.uid]
-                if post.end_time is None:
-                    return False
-                actor.time = max(actor.time, post.end_time)
-                actor.pc += 1
-                return True
+        def on_put(aid: int, uid: str) -> None:
+            for waiter in buffer_waiters.pop((aid, uid), ()):
+                wake(waiter)
 
-            if isinstance(instr, Recv):
-                if actor.pc not in actor.posted:
-                    post = _PostedRecv(instr.ref, instr.key, instr.nbytes, actor.time, actor.id)
-                    channel(instr.src, actor.id)[1].append(post)
-                    actor.posted.add(actor.pc)
-                    actor._last_recv = post  # type: ignore[attr-defined]
-                    try_match(instr.src, actor.id)
-                    if self.comm_mode is CommMode.ASYNC:
-                        actor.pc += 1
-                    return True
-                post = actor._last_recv  # type: ignore[attr-defined]
-                if post.end_time is None:
-                    return False
-                actor.time = max(actor.time, post.end_time)
-                actor.pc += 1
-                return True
+        def on_match(post: Any) -> None:
+            if post.waiter is not None:
+                waiter, post.waiter = post.waiter, None
+                wake(waiter)
 
-            if isinstance(instr, Delete):
-                flush_pending_deletes(actor)
-                posted = actor.outstanding_sends.get(instr.ref.uid)
-                if posted is not None and posted.end_time is None:
-                    actor.store.pending_deletions.append(instr.ref)
-                else:
-                    actor.outstanding_sends.pop(instr.ref.uid, None)
-                    actor.store.delete(instr.ref)
-                actor.pc += 1
-                return True
+        def on_allreduce(group_key: str) -> None:
+            for waiter in allreduce_waiters.pop(group_key, ()):
+                wake(waiter)
 
-            if isinstance(instr, Accumulate):
-                if instr.value not in actor.store:
-                    return False
-                start = ready_time(actor, [instr.value] + ([instr.acc] if instr.acc in actor.store else []))
-                vbuf = actor.store.get(instr.value)
-                if instr.acc in actor.store:
-                    abuf = actor.store.get(instr.acc)
-                    if abuf.value is not None and vbuf.value is not None:
-                        actor.store.update(instr.acc, abuf.value + vbuf.value)
-                else:
-                    actor.store.put(instr.acc, vbuf.value, vbuf.nbytes)
-                arrivals[(actor.id, instr.acc.uid)] = start
-                if instr.delete_value:
-                    actor.store.delete(instr.value)
-                timeline.append(TimelineEvent(actor.id, "accum", instr.acc.uid, start, start))
-                actor.pc += 1
-                return True
+        state.on_put = on_put
+        state.on_match = on_match
+        state.on_allreduce = on_allreduce
 
-            if isinstance(instr, AllReduce):
-                posts = allreduce_posts.setdefault(instr.group_key, {})
-                if actor.id not in posts:
-                    if instr.ref not in actor.store:
-                        return False
-                    posts[actor.id] = (ready_time(actor, [instr.ref]), instr.ref)
-                if set(posts) != set(instr.group):
-                    return False  # rendezvous incomplete
-                start = max(t for t, _ in posts.values())
-                buf0 = actor.store.get(instr.ref)
-                dur = self.cost.collective_time(buf0.nbytes, instr.group)
-                end = start + dur
-                # First actor to observe completion computes the reduction
-                # for the whole group (deterministic order).
-                if not allreduce_posts.get(instr.group_key + "/done"):
-                    vals = [
-                        self.stores[a].get(ref).value for a, (_, ref) in sorted(posts.items())
-                    ]
-                    total = None
-                    if all(v is not None for v in vals):
-                        total = vals[0]
-                        for v in vals[1:]:
-                            total = total + v
-                    for a, (_, ref) in posts.items():
-                        if total is not None:
-                            self.stores[a].update(ref, total)
-                        arrivals[(a, ref.uid)] = end
-                    allreduce_posts[instr.group_key + "/done"] = {0: (end, instr.ref)}
-                    timeline.append(
-                        TimelineEvent(actor.id, "allreduce", instr.group_key, start, end, buf0.nbytes)
-                    )
-                actor.time = max(actor.time, end)
-                actor.pc += 1
-                return True
+        for a in actors:
+            wake(a.id)
+        while ready:
+            _, _, aid = heapq.heappop(ready)
+            scheduled[aid] = False
+            actor = actors[aid]
+            while not actor.done:
+                wait = state.step(actor)
+                if wait is None:
+                    continue
+                if wait.kind == "buffer":
+                    buffer_waiters.setdefault(wait.key, []).append(aid)
+                elif wait.kind == "match":
+                    wait.post.waiter = aid
+                else:  # allreduce
+                    allreduce_waiters.setdefault(wait.key, []).append(aid)
+                break
 
-            raise TypeError(f"unknown instruction {instr!r}")
-
-        # round-robin fixpoint; deterministic
+    def _drive_roundrobin(self, state: _RunState) -> None:
+        """The original polling fixpoint, kept as the reference engine."""
+        actors = state.actors
         while True:
             progress = False
             for actor in actors:
-                while not actor.done and step(actor):
+                while not actor.done and state.step(actor) is None:
                     progress = True
             if all(a.done for a in actors):
                 break
             if not progress:
-                state = "; ".join(
-                    f"actor {a.id} stuck at [{a.pc}] {a.current()!r}" for a in actors if not a.done
-                )
-                raise DeadlockError(f"no actor can make progress: {state}")
-
-        # final pending deletions (sends all matched by now or program bug)
-        for actor in actors:
-            flush_pending_deletes(actor)
-
-        timeline.sort(key=lambda e: (e.start, e.actor))
-        finish = [a.time for a in actors]
-        return ExecutionResult(
-            makespan=max(finish) if finish else 0.0,
-            timeline=timeline,
-            actor_finish=finish,
-            p2p_bytes=p2p_bytes,
-            p2p_count=p2p_count,
-        )
+                return  # caller raises with diagnostics

@@ -19,17 +19,19 @@ def render_schedule(schedule: Schedule, n_mbs: int, width: int | None = None) ->
     """Figure-2-style logical timeline of a schedule.
 
     Each cell is one unit: ``F3`` = forward of microbatch 3 (lowercase for
-    backward). With circular repeat, the chunk index is appended as
-    ``F3'1`` for stage chunk 1. Cells advance in per-actor program order
-    with stalls ignored (this is the *logical* order the paper's Figure 2
-    shows, not wall-clock).
+    backward). Zero-bubble split backwards render as ``i3`` (input
+    gradient) and ``w3`` (weight gradient). With circular repeat, the
+    chunk index is appended as ``F3'1`` for stage chunk 1. Cells advance
+    in per-actor program order with stalls ignored (this is the *logical*
+    order the paper's Figure 2 shows, not wall-clock).
     """
+    glyph = {"fwd": "F", "bwd": "b", "bwd_i": "i", "bwd_w": "w"}
     rows = []
     for actor, seq in enumerate(schedule.units(n_mbs)):
         cells = []
         for u in seq:
             chunk = u.stage // schedule.n_actors
-            tag = f"F{u.mb}" if u.kind == "fwd" else f"b{u.mb}"
+            tag = f"{glyph.get(u.kind, '?')}{u.mb}"
             if schedule.n_stages > schedule.n_actors:
                 tag += f"'{chunk}"
             cells.append(tag)

@@ -6,10 +6,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.schedules import (
+    BWD_I,
+    BWD_W,
+    Eager1F1B,
     GPipe,
     Interleaved1F1B,
     OneFOneB,
     Unit,
+    ZBH1,
     schedule_stats,
     validate_schedule,
 )
@@ -110,6 +114,127 @@ class TestInterleaved:
             Interleaved1F1B(4, 0)
 
 
+class TestEager1F1B:
+    @pytest.mark.parametrize("p,m", [(2, 2), (2, 6), (4, 4), (4, 8), (4, 13), (6, 12), (8, 32)])
+    def test_valid_on_grid(self, p, m):
+        validate_schedule(Eager1F1B(p), m)
+
+    def test_doubled_warmup(self):
+        for rank, seq in enumerate(Eager1F1B(4).units(16)):
+            warmup = 0
+            for u in seq:
+                if u.kind != "fwd":
+                    break
+                warmup += 1
+            # warmup forwards + the first steady-state forward
+            assert warmup == min(2 * (4 - 1 - rank), 16) + 1
+
+    def test_last_rank_matches_plain_1f1b(self):
+        assert Eager1F1B(4).units(8)[3] == OneFOneB(4).units(8)[3]
+
+    def test_memory_roughly_doubles_but_stays_stage_bounded(self):
+        eager = schedule_stats(Eager1F1B(4), 32)["peak_live_activations"]
+        plain = schedule_stats(OneFOneB(4), 32)["peak_live_activations"]
+        assert eager[0] == 2 * plain[0] - 1  # 2(p-1)+1 vs p
+        # still independent of the microbatch count
+        assert eager == schedule_stats(Eager1F1B(4), 8)["peak_live_activations"]
+
+    def test_same_makespan_as_1f1b_under_uniform_costs(self):
+        e = schedule_stats(Eager1F1B(4), 8)
+        o = schedule_stats(OneFOneB(4), 8)
+        assert e["makespan"] == pytest.approx(o["makespan"])
+
+    def test_one_stage_per_actor(self):
+        with pytest.raises(ValueError):
+            Eager1F1B(4, n_actors=2)
+
+    def test_misordered_variant_rejected(self):
+        class Bad(Eager1F1B):
+            def units(self, n_mbs):
+                out = super().units(n_mbs)
+                out[0] = list(reversed(out[0]))
+                return out
+
+        with pytest.raises(ValueError):
+            validate_schedule(Bad(3), 6)
+
+
+class TestZBH1:
+    @pytest.mark.parametrize("p,m", [(2, 2), (2, 5), (3, 6), (4, 4), (4, 8), (4, 11), (8, 32)])
+    def test_valid_on_grid(self, p, m):
+        validate_schedule(ZBH1(p), m)
+
+    def test_backward_is_split(self):
+        kinds = {u.kind for seq in ZBH1(4).units(8) for u in seq}
+        assert kinds == {"fwd", BWD_I, BWD_W}
+
+    def test_weight_grad_follows_input_grad_locally(self):
+        for seq in ZBH1(4).units(12):
+            pos = {(u.mb, u.kind): i for i, u in enumerate(seq)}
+            for mb in range(12):
+                assert pos[(mb, BWD_I)] < pos[(mb, BWD_W)]
+
+    def test_same_peak_memory_as_1f1b(self):
+        z = schedule_stats(ZBH1(4), 16)["peak_live_activations"]
+        o = schedule_stats(OneFOneB(4), 16)["peak_live_activations"]
+        assert z == o
+
+    def test_smaller_bubble_than_1f1b(self):
+        # the zero-bubble claim: W units fill the cooldown bubble and the
+        # backward sweep's critical path shrinks to the bwd_i chain
+        z = schedule_stats(ZBH1(4), 8, fwd_time=1.0, bwd_time=2.0)
+        o = schedule_stats(OneFOneB(4), 8, fwd_time=1.0, bwd_time=2.0)
+        assert z["makespan"] < o["makespan"]
+        assert z["bubble_fraction"] < o["bubble_fraction"]
+
+    def test_work_conserved(self):
+        # splitting must not change total busy time per actor
+        z = schedule_stats(ZBH1(4), 8, fwd_time=1.0, bwd_time=2.0)
+        o = schedule_stats(OneFOneB(4), 8, fwd_time=1.0, bwd_time=2.0)
+        assert z["busy"] == pytest.approx(o["busy"])
+
+    def test_w_before_its_i_rejected(self):
+        class Bad(ZBH1):
+            def units(self, n_mbs):
+                out = super().units(n_mbs)
+                for seq in out:
+                    for i, u in enumerate(seq):
+                        if u.kind == BWD_W:
+                            # hoist the first W to the front of the program
+                            seq.insert(0, seq.pop(i))
+                            break
+                return out
+
+        with pytest.raises(ValueError, match="deadlock"):
+            validate_schedule(Bad(3), 6)
+
+    def test_monolithic_bwd_in_split_schedule_rejected(self):
+        class Bad(ZBH1):
+            def units(self, n_mbs):
+                out = super().units(n_mbs)
+                u = out[0][-1]
+                out[0][-1] = Unit(u.mb, u.stage, "bwd")
+                return out
+
+        with pytest.raises(ValueError, match="may only emit"):
+            validate_schedule(Bad(3), 6)
+
+    def test_split_kind_in_monolithic_schedule_rejected(self):
+        class Bad(OneFOneB):
+            def units(self, n_mbs):
+                out = super().units(n_mbs)
+                u = out[0][-1]
+                out[0][-1] = Unit(u.mb, u.stage, BWD_I)
+                return out
+
+        with pytest.raises(ValueError, match="may only emit"):
+            validate_schedule(Bad(2), 2)
+
+    def test_one_stage_per_actor(self):
+        with pytest.raises(ValueError):
+            ZBH1(4, n_actors=2)
+
+
 class TestValidation:
     def test_detects_duplicate(self):
         class Bad(OneFOneB):
@@ -157,15 +282,19 @@ class TestScheduleProperties:
         p=st.integers(2, 6),
         m_mult=st.integers(1, 4),
         v=st.integers(1, 3),
-        kind=st.sampled_from(["gpipe", "1f1b", "interleaved"]),
+        kind=st.sampled_from(["gpipe", "1f1b", "interleaved", "eager1f1b", "zbh1"]),
     )
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=60, deadline=None)
     def test_random_configs_valid(self, p, m_mult, v, kind):
         m = p * m_mult
         if kind == "gpipe":
             sched = GPipe(p)
         elif kind == "1f1b":
             sched = OneFOneB(p)
+        elif kind == "eager1f1b":
+            sched = Eager1F1B(p)
+        elif kind == "zbh1":
+            sched = ZBH1(p)
         else:
             sched = Interleaved1F1B(p, v)
         validate_schedule(sched, m)

@@ -1,0 +1,253 @@
+"""Differential tests: the event-driven engine must reproduce the
+round-robin reference engine's results exactly.
+
+Both engines share the instruction interpreter, so this suite pins down
+the part that differs — scheduling and wake-up order: randomized
+instruction streams (the fuzz generators), deletion-heavy programs, the
+full numeric compile path for every schedule family, and data-parallel
+all-reduce rendezvous must all produce identical ``ExecutionResult``s
+(makespan, timeline, p2p counts) and identical object-store contents.
+
+Also covers the event engine's structural guarantees: zero re-polls
+(every wake-up is for a changed resource) and the wait-for-graph deadlock
+diagnostics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import core, ir
+from repro.runtime import (
+    BufferRef,
+    CommMode,
+    DeadlockError,
+    Delete,
+    LinearCost,
+    MpmdExecutor,
+    Recv,
+    RunTask,
+    Send,
+)
+from tests.runtime.test_executor_fuzz import build_random_program
+
+B = BufferRef
+
+
+def run_both(n_actors, programs_builder, mode=CommMode.ASYNC, cost_model=None):
+    """Execute fresh copies of a program under both engines."""
+    results = {}
+    for engine in ("event", "roundrobin"):
+        ex = MpmdExecutor(n_actors, cost_model=cost_model, comm_mode=mode, engine=engine)
+        results[engine] = (ex, ex.execute(programs_builder()))
+    return results
+
+
+def assert_identical(results):
+    (ex_a, res_a), (ex_b, res_b) = results["event"], results["roundrobin"]
+    assert res_a.makespan == res_b.makespan
+    assert res_a.actor_finish == res_b.actor_finish
+    assert res_a.p2p_bytes == res_b.p2p_bytes
+    assert res_a.p2p_count == res_b.p2p_count
+    assert res_a.timeline == res_b.timeline
+    for store_a, store_b in zip(ex_a.stores, ex_b.stores):
+        assert store_a.live_refs() == store_b.live_refs()
+        assert store_a.bytes_in_use == store_b.bytes_in_use
+        assert store_a.pending_deletions == store_b.pending_deletions
+        for uid in store_a.live_refs():
+            va = store_a.get(B(uid)).value
+            vb = store_b.get(B(uid)).value
+            assert np.array_equal(np.asarray(va), np.asarray(vb)) or (va is None and vb is None)
+    return res_a, res_b
+
+
+class TestRandomizedEquivalence:
+    @given(
+        seed=st.integers(0, 10_000),
+        n_actors=st.integers(2, 5),
+        n_tasks=st.integers(3, 25),
+        mode=st.sampled_from([CommMode.ASYNC, CommMode.SYNC]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_dags_identical(self, seed, n_actors, n_tasks, mode):
+        def build():
+            programs, _, _ = build_random_program(seed, n_actors, n_tasks)
+            return programs
+
+        results = run_both(
+            n_actors, build, mode=mode, cost_model=LinearCost(p2p_latency=0.01)
+        )
+        res_a, _ = assert_identical(results)
+        # the event engine never re-polls an unchanged wait condition
+        assert res_a.repolls == 0
+
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=30, deadline=None)
+    def test_deletion_heavy_programs_identical(self, seed):
+        def build():
+            programs, _, _ = build_random_program(seed, 3, 14)
+            for prog in programs:
+                last_use = {}
+                for i, instr in enumerate(prog):
+                    if isinstance(instr, RunTask):
+                        for rf in instr.in_refs + instr.out_refs:
+                            last_use[rf.uid] = i
+                    elif isinstance(instr, (Send, Recv)):
+                        last_use[instr.ref.uid] = i
+                out = []
+                for i, instr in enumerate(prog):
+                    out.append(instr)
+                    for uid, k in last_use.items():
+                        if k == i:
+                            out.append(Delete(B(uid)))
+                prog[:] = out
+            return programs
+
+        results = run_both(3, build, mode=CommMode.ASYNC)
+        assert_identical(results)
+        for ex, _ in results.values():
+            for store in ex.stores:
+                assert store.bytes_in_use == 0
+                assert not store.pending_deletions
+
+    @given(seed=st.integers(0, 2_000), mode=st.sampled_from([CommMode.ASYNC, CommMode.SYNC]))
+    @settings(max_examples=20, deadline=None)
+    def test_values_match_sequential_reference(self, seed, mode):
+        programs, actor_of, ref = build_random_program(seed, 4, 18)
+        ex = MpmdExecutor(4, comm_mode=mode, engine="event")
+        ex.execute(programs)
+        for t, want in ref.items():
+            got = ex.fetch(actor_of[t], B(f"v{t}"))
+            assert abs(got - want) < 1e-9
+
+
+def _mlp_problem(n_stages=4, n_mbs=8, mbsz=4, d=8):
+    from repro.models import init_mlp, mlp_loss
+
+    params = init_mlp(np.random.RandomState(0), n_stages, d, d, d)
+
+    def train_step(params, batch):
+        def mg(mb):
+            loss, grads = ir.value_and_grad(lambda p, m: mlp_loss(p, m, n_stages))(params, mb)
+            return grads, loss
+
+        grads, losses = core.accumulate_grads(mg, None)(batch)
+        new = ir.tree_map(lambda w, g: w - 0.05 * g, params, grads)
+        return new, losses
+
+    r = np.random.RandomState(1)
+    batch = (
+        r.randn(n_mbs, mbsz, d).astype(np.float32),
+        r.randn(n_mbs, mbsz, d).astype(np.float32),
+    )
+    return train_step, params, batch
+
+
+SCHEDULES = [
+    core.GPipe(4),
+    core.OneFOneB(4),
+    core.Eager1F1B(4),
+    core.ZBH1(4),
+    core.Interleaved1F1B(2, 2),
+]
+
+
+class TestCompiledEquivalence:
+    @pytest.mark.parametrize("schedule", SCHEDULES, ids=lambda s: s.name)
+    def test_numeric_step_identical_across_engines(self, schedule):
+        train_step, params, batch = _mlp_problem()
+        outs = {}
+        for engine in ("event", "roundrobin"):
+            mesh = core.RemoteMesh((schedule.n_actors,), engine=engine)
+            step = mesh.distributed(train_step, schedule=schedule)
+            outs[engine] = (step(params, batch), step.last_result)
+        (p_a, l_a), res_a = outs["event"]
+        (p_b, l_b), res_b = outs["roundrobin"]
+        for k in p_a:
+            np.testing.assert_array_equal(p_a[k], p_b[k])
+        np.testing.assert_array_equal(l_a, l_b)
+        assert res_a.makespan == res_b.makespan
+        assert res_a.timeline == res_b.timeline
+        assert res_a.p2p_count == res_b.p2p_count
+        assert res_a.repolls == 0
+
+    def test_data_parallel_allreduce_identical(self):
+        train_step, params, batch = _mlp_problem(n_stages=2, mbsz=4)
+        outs = {}
+        for engine in ("event", "roundrobin"):
+            mesh = core.RemoteMesh((2, 2), engine=engine)
+            step = mesh.distributed(train_step, schedule=core.OneFOneB(2))
+            outs[engine] = (step(params, batch), step.last_result)
+        (p_a, _), res_a = outs["event"]
+        (p_b, _), res_b = outs["roundrobin"]
+        for k in p_a:
+            np.testing.assert_array_equal(p_a[k], p_b[k])
+        assert res_a.timeline == res_b.timeline
+
+
+class TestDeadlockDiagnostics:
+    def _cross_send_programs(self):
+        def const(v):
+            return lambda vals: [np.asarray(v)]
+
+        return [
+            [
+                RunTask("a", [], [B("x")], fn=const(1.0)),
+                Send(B("x"), 1, "x"),
+                Recv(B("y"), 1, "y", 8),
+            ],
+            [
+                RunTask("b", [], [B("y")], fn=const(2.0)),
+                Send(B("y"), 0, "y"),
+                Recv(B("x"), 0, "x", 8),
+            ],
+        ]
+
+    @pytest.mark.parametrize("engine", ["event", "roundrobin"])
+    def test_sync_cross_send_cycle_reported(self, engine):
+        ex = MpmdExecutor(2, comm_mode=CommMode.SYNC, engine=engine)
+        with pytest.raises(DeadlockError) as exc:
+            ex.execute(self._cross_send_programs())
+        msg = str(exc.value)
+        # both stuck actors, their blocking channels, and the cycle
+        assert "actor 0 stuck at" in msg and "actor 1 stuck at" in msg
+        assert "channel 0->1" in msg and "channel 1->0" in msg
+        assert "wait-for cycle" in msg
+
+    @pytest.mark.parametrize("engine", ["event", "roundrobin"])
+    def test_missing_buffer_named(self, engine):
+        ex = MpmdExecutor(1, engine=engine)
+        with pytest.raises(DeadlockError) as exc:
+            ex.execute([[RunTask("a", [B("ghost")], [B("y")], fn=lambda v: v)]])
+        msg = str(exc.value)
+        assert "buffer 'ghost'" in msg
+
+    @pytest.mark.parametrize("engine", ["event", "roundrobin"])
+    def test_unmatched_recv_names_sender(self, engine):
+        # a recv whose sender never posts: the wait-for edge points at the
+        # posted recv's source actor
+        ex = MpmdExecutor(2, comm_mode=CommMode.ASYNC, engine=engine)
+        progs = [
+            [Recv(B("x"), 1, "x", 8), RunTask("use", [B("x")], [B("z")], fn=lambda v: v)],
+            [],
+        ]
+        with pytest.raises(DeadlockError) as exc:
+            ex.execute(progs)
+        assert "buffer 'x'" in str(exc.value)
+
+    def test_allreduce_rendezvous_reported(self):
+        from repro.runtime import AllReduce
+
+        def const(v):
+            return lambda vals: [np.asarray(v)]
+
+        ex = MpmdExecutor(2, engine="event")
+        progs = [
+            [RunTask("a", [], [B("g")], fn=const(1.0)), AllReduce(B("g"), (0, 1), "k")],
+            [],  # actor 1 never joins
+        ]
+        with pytest.raises(DeadlockError) as exc:
+            ex.execute(progs)
+        msg = str(exc.value)
+        assert "rendezvous 'k'" in msg and "missing actors [1]" in msg
