@@ -28,10 +28,12 @@ from repro.core.schedules import (
     Eager1F1B,
     GPipe,
     Interleaved1F1B,
+    InterleavedZB,
+    LoopedBFS,
     OneFOneB,
     ZBH1,
+    ZBH2,
     schedule_stats,
-    toposort_units,
 )
 from repro.runtime import BufferRef, CommMode, LinearCost, MpmdExecutor, Recv, RunTask, Send
 
@@ -43,37 +45,27 @@ NBYTES = 8
 
 
 def build_programs(sched, n_mbs):
-    """Instruction programs for a schedule: one RunTask per unit, sends and
-    recvs placed in global topological order (§4.2)."""
-    p, n_stages = sched.n_actors, sched.n_stages
-    progs = [[] for _ in range(p)]
-    order = toposort_units(sched, n_mbs)
+    """Instruction programs for a schedule, read off its lowered
+    ScheduleIR: one RunTask per slot with the IR's local dependencies as
+    in_refs, one send/recv pair per cross-rank edge, all placed in the
+    IR's global topological order (§4.2)."""
+    ir = sched.lower(n_mbs)
+    progs = [[] for _ in range(ir.n_ranks)]
 
-    def uid(mb, stage, kind):
-        return f"{kind}{stage}.{mb}"
+    def uid(u):
+        return f"{u.kind}{u.stage}.{u.mb}"
 
     frac = sched.bwd_input_fraction
     cost_of = {"fwd": FWD_T, "bwd": BWD_T, "bwd_i": BWD_T * frac, "bwd_w": BWD_T * (1 - frac)}
-    for a, u in order:
-        in_refs = []
-        if u.kind == "fwd" and u.stage > 0:
-            in_refs.append(B(uid(u.mb, u.stage - 1, "fwd")))
-        elif u.kind in ("bwd", "bwd_i") and u.stage < n_stages - 1:
-            in_refs.append(B(uid(u.mb, u.stage + 1, u.kind)))
-        elif u.kind == "bwd_w":
-            in_refs.append(B(uid(u.mb, u.stage, "bwd_i")))
+    for slot in ir.toposort():
+        a, u = slot.rank, slot.unit
+        in_refs = [B(uid(d.unit)) for d in ir.buffer_deps(slot)]
         progs[a].append(
-            RunTask(f"{u.kind}{u.stage}({u.mb})", in_refs, [B(uid(u.mb, u.stage, u.kind))],
+            RunTask(f"{u.kind}{u.stage}({u.mb})", in_refs, [B(uid(u))],
                     fn=None, cost=cost_of[u.kind], meta={"out_nbytes": [NBYTES]})
         )
-        if u.kind == "fwd" and u.stage < n_stages - 1:
-            dst = sched.actor_of_stage(u.stage + 1)
-        elif u.kind in ("bwd", "bwd_i") and u.stage > 0:
-            dst = sched.actor_of_stage(u.stage - 1)
-        else:
-            dst = None
-        if dst is not None and dst != a:
-            key = uid(u.mb, u.stage, u.kind)
+        for dst in ir.send_dsts(slot):
+            key = uid(u)
             progs[a].append(Send(B(key), dst, key))
             progs[dst].append(Recv(B(key), a, key, NBYTES))
     return progs
@@ -84,7 +76,10 @@ SCHEDULES = [
     ("1F1B", OneFOneB(8)),
     ("Eager1F1B", Eager1F1B(8)),
     ("ZB-H1", ZBH1(8)),
+    ("ZB-H2", ZBH2(8)),
     ("Interleaved(v=2)", Interleaved1F1B(8, 2)),
+    ("LoopedBFS(v=2)", LoopedBFS(8, 2)),
+    ("Interleaved-ZB(v=2)", InterleavedZB(8, 2)),
 ]
 N_MBS = 32
 
@@ -163,7 +158,8 @@ def test_event_engine_visits_scale_linearly():
 
 def test_zbh1_beats_1f1b_makespan(results_dir):
     """Zero-bubble's point, measured on the actual runtime: same work,
-    smaller makespan, because weight-gradient units fill the bubble."""
+    smaller makespan, because weight-gradient units fill the bubble — and
+    ZB-H2's relaxed memory bound shrinks it further."""
     rows = []
     makespans = {}
     for name, sched in SCHEDULES:
@@ -172,9 +168,46 @@ def test_zbh1_beats_1f1b_makespan(results_dir):
         makespans[name] = res.makespan
         # the discrete-event engine and the analytic recurrence must agree
         assert res.makespan == pytest.approx(stats["makespan"])
-        rows.append(f"{name:18s} makespan={res.makespan:7.1f}  "
+        rows.append(f"{name:20s} makespan={res.makespan:7.1f}  "
                     f"bubble={stats['bubble_fraction']:.3f}  "
                     f"peak_live={stats['peak_live_activations']}")
     assert makespans["ZB-H1"] < makespans["1F1B"]
+    assert makespans["ZB-H2"] < makespans["ZB-H1"]
     assert makespans["1F1B"] <= makespans["GPipe"]
+    # zero-bubble within the circular-repeat family too
+    assert makespans["Interleaved-ZB(v=2)"] < makespans["Interleaved(v=2)"]
     emit(results_dir, "schedule_engine_makespans", "\n".join(rows))
+
+
+def test_ir_emission_visit_counts_stay_linear(results_dir):
+    """The O(n²) regression guard for the IR refactor: per schedule, the
+    event engine's visit count divided by the instruction count must stay
+    a small constant (<= 2: one visit per task, at most post + completion
+    per comm op) as programs are now emitted from the ScheduleIR.  The
+    round-robin reference's ratio is emitted alongside as the quadratic
+    baseline the event engine is measured against."""
+    rows = [f"{'schedule':20s} {'instrs':>7s} {'ev v/i':>7s} {'rr v/i':>7s}"]
+    for name, sched in SCHEDULES:
+        n_instr = sum(len(p) for p in build_programs(sched, N_MBS))
+        res = run_engines(sched, N_MBS, CommMode.SYNC)
+        ev, rr = res["event"], res["roundrobin"]
+        assert ev.repolls == 0, name
+        assert ev.visits <= 2 * n_instr, (name, ev.visits, n_instr)
+        assert ev.visits <= rr.visits, name
+        rows.append(f"{name:20s} {n_instr:7d} {ev.visits / n_instr:7.2f} "
+                    f"{rr.visits / n_instr:7.2f}")
+    emit(results_dir, "schedule_engine_ir_visits", "\n".join(rows))
+
+
+def test_wait_profile_names_pipeline_channels(results_dir):
+    """The wait-profile satellite, at benchmark scale: under SYNC 1F1B the
+    resources actors park on longest are inter-stage channels, and the
+    histogram says which."""
+    res = run_engines(OneFOneB(8), N_MBS, CommMode.SYNC)["event"]
+    assert res.wait_profile, "SYNC 1F1B must record parked time"
+    top = res.top_waits(8)
+    assert all(stat.total >= 0.0 and stat.count > 0 for _, stat in top)
+    assert any(label.startswith("channel ") for label, _ in top)
+    rows = [f"{label:28s} count={stat.count:4d} parked={stat.total:8.1f}"
+            for label, stat in top]
+    emit(results_dir, "schedule_engine_wait_profile", "\n".join(rows))

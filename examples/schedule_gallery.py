@@ -1,13 +1,21 @@
 """Figure 2, live: compare GPipe / 1F1B / Interleaved 1F1B / Eager 1F1B /
-zero-bubble ZB-H1.
+zero-bubble ZB-H1 & ZB-H2 / looped-BFS / interleaved-ZB.
+
+Every schedule here is just a ``units()`` method: ``Schedule.lower``
+turns it into the dependency-explicit ScheduleIR that the compiler,
+runtime, simulator, and this renderer all consume — adding a schedule
+touches nothing downstream.
 
 Renders each schedule's logical order (the paper's Figure 2), executes the
 same 4-stage model under each schedule on a virtual-time cost model, and
 prints wall-clock timelines plus the §2.2.1 claims measured, not asserted:
 
 - 1F1B's peak activation memory is bounded by the stage count while
-  GPipe's grows with the microbatch count;
-- interleaving trades smaller bubbles for more, smaller tasks.
+  GPipe's (and looped-BFS's) grows with the microbatch count;
+- interleaving trades smaller bubbles for more, smaller tasks;
+- zero-bubble splits shrink the bubble further at equal (ZB-H1,
+  interleaved-ZB) or doubled (ZB-H2) activation memory;
+- the runtime's wait profile names the resources each run parked on.
 
 Run: ``python examples/schedule_gallery.py``
 """
@@ -50,6 +58,9 @@ def main() -> None:
         (core.Interleaved1F1B(2, 2), 4),
         (core.Eager1F1B(4), 4),
         (core.ZBH1(4), 4),
+        (core.ZBH2(4), 4),
+        (core.LoopedBFS(2, 2), 4),
+        (core.InterleavedZB(2, 2), 4),
     ]:
         print("=" * 72)
         print(f"{schedule.name}  ({n_stages} stages on {schedule.n_actors} actors, "
@@ -77,6 +88,12 @@ def main() -> None:
 
         peaks = step_fn.peak_bytes_per_actor
         print(f"peak object-store bytes/actor: {[f'{p/1024:.0f}K' for p in peaks]}")
+
+        top = step_fn.last_result.top_waits(3)
+        if top:
+            waits = ", ".join(f"{label} ({stat.total:.3f}s x{stat.count})"
+                              for label, stat in top)
+            print(f"longest-parked resources: {waits}")
 
         # and it is still exactly the single-device result:
         ref_params, ref_losses = train_step(params, batch)

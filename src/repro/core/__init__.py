@@ -21,15 +21,18 @@ from repro.core.accumulate import ADD, STACK, accumulate_grads, pipeline_loop_p,
 from repro.core.api import RemoteMesh, StepFunction
 from repro.core.compile import CompiledStep, compile_train_step
 from repro.core.loop_commute import CombineSpec, CommuteResult, commute_shared_gradients
+from repro.core.schedule_ir import ScheduleIR, Slot, iter_unit_deps, lower_schedule
 from repro.core.schedules import (
     GPipe,
     Eager1F1B,
     Interleaved1F1B,
+    InterleavedZB,
+    LoopedBFS,
     OneFOneB,
     Schedule,
     Unit,
     ZBH1,
-    iter_unit_deps,
+    ZBH2,
     schedule_stats,
     validate_schedule,
 )
@@ -41,6 +44,8 @@ __all__ = [
     "compile_train_step", "CompiledStep",
     "commute_shared_gradients", "CommuteResult", "CombineSpec",
     "Schedule", "GPipe", "OneFOneB", "Eager1F1B", "Interleaved1F1B", "ZBH1",
+    "ZBH2", "LoopedBFS", "InterleavedZB",
+    "ScheduleIR", "Slot", "lower_schedule",
     "Unit", "validate_schedule", "schedule_stats", "iter_unit_deps",
     "split_stages", "SplitResult", "StageTask",
 ]

@@ -51,6 +51,9 @@ class RemoteMesh:
             sends/recvs; SYNC = the blocking baseline).
         engine: runtime scheduling loop — ``"event"`` (default) or the
             ``"roundrobin"`` polling reference (differential testing).
+        tie_break: event-engine ready-queue ordering for actors runnable
+            at the same virtual time (``"fifo"`` / ``"depth_first"`` /
+            ``"rank"``); results are identical under every policy.
     """
 
     def __init__(
@@ -61,6 +64,7 @@ class RemoteMesh:
         cost_model: CostModel | None = None,
         comm_mode: CommMode = CommMode.ASYNC,
         engine: str = "event",
+        tie_break: str = "fifo",
     ):
         shape = tuple(int(s) for s in shape)
         if len(shape) == 1:
@@ -71,13 +75,18 @@ class RemoteMesh:
             raise ValueError(f"RemoteMesh shape must be (p,) or (dp, p), got {shape}")
         self.spmd_mesh = tuple(spmd_mesh) if spmd_mesh else None
         self.rules = dict(rules) if rules else {}
-        from repro.runtime.executor import ENGINES
+        from repro.runtime.executor import ENGINES, TIE_BREAKS
 
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if tie_break not in TIE_BREAKS:
+            raise ValueError(
+                f"unknown tie_break {tie_break!r}; expected one of {TIE_BREAKS}"
+            )
         self.cost_model = cost_model
         self.comm_mode = comm_mode
         self.engine = engine
+        self.tie_break = tie_break
 
     @property
     def n_actors(self) -> int:
@@ -177,6 +186,7 @@ class StepFunction:
             cost_model=self.mesh.cost_model,
             comm_mode=self.mesh.comm_mode,
             engine=self.mesh.engine,
+            tie_break=self.mesh.tie_break,
         )
 
         P = self.mesh.n_pipeline_actors
@@ -205,7 +215,16 @@ class StepFunction:
                     lit.aval.nbytes, pinned=True,
                 )
 
-        self.last_result = executor.execute(compiled.programs)
+        # seed the event engine's ready-queue from the schedule IR: ranks
+        # whose first slot is dependency-free are polled first (replicated
+        # across data-parallel groups)
+        wake_order = None
+        if compiled.schedule_ir is not None:
+            ranks = compiled.schedule_ir.initial_ready_ranks()
+            wake_order = [
+                replica * P + rank for replica in range(dp) for rank in ranks
+            ]
+        self.last_result = executor.execute(compiled.programs, wake_order=wake_order)
         self._executor = executor
 
         outs = []

@@ -32,7 +32,8 @@ import numpy as np
 
 from repro.core.accumulate import ADD, STACK, pipeline_loop_p
 from repro.core.loop_commute import commute_shared_gradients
-from repro.core.schedules import BWD, BWD_I, BWD_W, FWD, Schedule, Unit, toposort_units
+from repro.core.schedule_ir import ScheduleIR
+from repro.core.schedules import BWD, BWD_I, BWD_W, FWD, Schedule
 from repro.core.stage_split import BWD_KIND, FUSED_KIND, SplitResult, StageTask, split_stages
 from repro.ir.interpreter import eval_jaxpr
 from repro.ir.jaxpr import Atom, Eqn, Jaxpr, Literal, Var
@@ -84,6 +85,9 @@ class CompiledStep:
         schedule: the schedule that was compiled against.
         dp_size: data-parallel replication factor.
         n_commuted: shared-weight gradients rewritten by loop commuting.
+        schedule_ir: the lowered :class:`~repro.core.schedule_ir.ScheduleIR`
+            the programs were emitted from (drives runtime ready-queue
+            seeding and introspection).
     """
 
     n_actors: int
@@ -95,6 +99,7 @@ class CompiledStep:
     schedule: Schedule
     dp_size: int
     n_commuted: int
+    schedule_ir: ScheduleIR | None = None
 
     @property
     def instruction_counts(self) -> dict[str, int]:
@@ -442,10 +447,12 @@ def compile_train_step(
     task_fns = [_make_task_fn(t.jaxpr, spmd_config) for t in tasks]
     task_costs = [cost_fn(t) if cost_fn else 0.0 for t in tasks]
 
-    # global topological order of scheduled units — §4.2's iteration
-    # order; the dependency model (monolithic or zero-bubble split
-    # backward) comes from the units themselves
-    order: list[tuple[int, Unit]] = toposort_units(schedule, n_mbs)
+    # lower the schedule once: the IR's global topological order is §4.2's
+    # iteration order, and its resolved edges carry the dependency model
+    # (monolithic or zero-bubble split backward) — nothing is re-derived
+    # from unit kinds here
+    sched_ir = schedule.lower(n_mbs)
+    order = [(slot.rank, slot.unit) for slot in sched_ir.toposort()]
 
     for replica in range(dp_size):
         base = replica * P
@@ -792,6 +799,7 @@ def compile_train_step(
         schedule=schedule,
         dp_size=dp_size,
         n_commuted=commute.n_commuted,
+        schedule_ir=sched_ir,
     )
     literal_placements.extend(const_loop_outputs)
     compiled.literal_placements = literal_placements  # type: ignore[attr-defined]

@@ -1,0 +1,421 @@
+"""First-class schedule IR: one dependency-explicit table per schedule.
+
+A :class:`Schedule` answers *what runs where, in which per-rank order*;
+this module lowers that answer — once — into a :class:`ScheduleIR` that
+every consumer walks instead of re-deriving unit dependencies:
+
+- the **compiler** (:mod:`repro.core.compile`) emits instructions in the
+  IR's global topological order;
+- the **runtime** (:mod:`repro.runtime.executor`) seeds its event-engine
+  ready-queue from :meth:`ScheduleIR.initial_ready_ranks`;
+- the **performance simulator** (:mod:`repro.perf.pipeline_sim`) costs the
+  IR's slots and materialises sends/recvs from its cross-rank edges;
+- the **visualiser** (:mod:`repro.viz.ascii`) draws the slot table;
+- **validation** (:func:`repro.core.schedules.validate_schedule`) is a
+  graph check over the same table: completeness, placement, edge
+  resolution, acyclicity/executability, and per-rank memory bounds.
+
+The Slot/edge model
+===================
+
+One *slot* is one scheduled unit pinned to a position in a rank's program:
+``Slot(rank, index, unit, acquires, releases)``.  ``acquires``/``releases``
+are resource annotations counting activation buffers: a forward acquires
+one, a (monolithic or weight-gradient) backward releases one, so a running
+sum of ``acquires - releases`` along any execution order is the rank's
+live-activation count.
+
+Edges connect producing slots to consuming slots and come in two flavours:
+
+- *intra-rank* — producer and consumer sit on the same rank; program order
+  plus the local object store satisfy them with no communication;
+- *cross-rank* — producer and consumer sit on different ranks; each one is
+  a send/recv pair at runtime.
+
+For ``OneFOneB(2)`` with two microbatches the table looks like::
+
+    rank 0:  f0(0) ───► f0(1)      b0(0)        b0(1)
+               │intra     │intra   ▲              ▲
+               ▼cross     ▼cross   │cross         │cross
+    rank 1:  f1(0) ───► b1(0) ──► f1(1) ───►    b1(1)
+
+    slot     = one cell (a Unit at a rank/index)
+    intra    = same-row arrow (program order / local buffer)
+    cross    = between-row arrow (a send/recv pair)
+
+``f0(1)``'s only dependency edge is intra-rank program order; ``b0(0)``
+has a cross-rank edge from ``b1(0)`` (the gradient coming back up), which
+is exactly the transfer the compiler emits and the simulator prices.
+
+Dependency *structure* (which units feed which) is fixed by unit kinds —
+:func:`iter_unit_deps` is the single encoding of it, and this module is
+its only home; everything downstream sees resolved slot-to-slot edges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.schedules import BWD, BWD_I, BWD_W, FWD, Unit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.schedules import Schedule
+
+__all__ = [
+    "Slot",
+    "ScheduleIR",
+    "lower_schedule",
+    "iter_unit_deps",
+]
+
+
+def iter_unit_deps(unit: Unit, n_stages: int) -> Iterator[Unit]:
+    """Units that must complete before ``unit`` may run.
+
+    Encodes both the monolithic-backward dependency structure and the
+    zero-bubble split one (a unit's kind determines which applies — a
+    schedule's units are homogeneous in this respect).  This is the single
+    source of dependency structure; consumers walk the resolved edges of a
+    :class:`ScheduleIR` instead of calling this directly.
+    """
+    if unit.kind == FWD:
+        if unit.stage > 0:
+            yield Unit(unit.mb, unit.stage - 1, FWD)
+    elif unit.kind == BWD:
+        yield Unit(unit.mb, unit.stage, FWD)
+        if unit.stage < n_stages - 1:
+            yield Unit(unit.mb, unit.stage + 1, BWD)
+    elif unit.kind == BWD_I:
+        yield Unit(unit.mb, unit.stage, FWD)
+        if unit.stage < n_stages - 1:
+            yield Unit(unit.mb, unit.stage + 1, BWD_I)
+    elif unit.kind == BWD_W:
+        yield Unit(unit.mb, unit.stage, BWD_I)
+    else:
+        raise ValueError(f"unknown unit kind {unit.kind!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Slot:
+    """One scheduled unit at a fixed position in a rank's program.
+
+    Attributes:
+        rank: the actor executing this slot.
+        index: position in the rank's program order.
+        unit: the scheduled work item.
+        acquires: activation buffers acquired when this slot runs (1 for a
+            forward, else 0).
+        releases: activation buffers released when this slot retires (1
+            for a monolithic or weight-gradient backward, else 0).
+    """
+
+    rank: int
+    index: int
+    unit: Unit
+    acquires: int
+    releases: int
+
+    @property
+    def key(self) -> tuple[int, int, str]:
+        """The unit identity ``(mb, stage, kind)``."""
+        u = self.unit
+        return (u.mb, u.stage, u.kind)
+
+    def __repr__(self) -> str:
+        return f"Slot(r{self.rank}[{self.index}] {self.unit!r})"
+
+
+class ScheduleIR:
+    """Dependency-explicit lowering of a schedule for ``n_mbs`` microbatches.
+
+    Construction (via :func:`lower_schedule` / ``Schedule.lower``) checks
+    the *table* properties — every unit scheduled exactly once, on the
+    stage's owning actor, with only the kinds the schedule's backward mode
+    allows, and every dependency edge resolving to a scheduled slot.
+    :meth:`validate` additionally checks the *graph* properties —
+    executability (acyclicity of data + program-order edges, via the
+    greedy topological walk) and the per-rank activation-memory bound.
+
+    Attributes:
+        schedule: the schedule this IR was lowered from.
+        n_mbs: microbatch count the lowering is specialised to.
+        n_stages / n_ranks: copied from the schedule.
+        slots: per-rank ordered slot lists (the schedule table).
+    """
+
+    def __init__(self, schedule: "Schedule", n_mbs: int):
+        self.schedule = schedule
+        self.n_mbs = n_mbs
+        self.n_stages = schedule.n_stages
+        self.n_ranks = schedule.n_actors
+
+        per_actor = schedule.units(n_mbs)
+        if len(per_actor) != schedule.n_actors:
+            raise ValueError("schedule emitted wrong number of actor lists")
+
+        kinds = (FWD, BWD_I, BWD_W) if schedule.backward_split else (FWD, BWD)
+        expected = {
+            (mb, s, k)
+            for mb in range(n_mbs)
+            for s in range(schedule.n_stages)
+            for k in kinds
+        }
+
+        self.slots: list[list[Slot]] = []
+        self._slot_of: dict[tuple[int, int, str], Slot] = {}
+        for rank, seq in enumerate(per_actor):
+            row: list[Slot] = []
+            for index, u in enumerate(seq):
+                if u.kind not in kinds:
+                    raise ValueError(
+                        f"unit {u} has kind {u.kind!r}, but this "
+                        f"{'split' if schedule.backward_split else 'monolithic'}"
+                        f"-backward schedule may only emit {kinds}"
+                    )
+                key = (u.mb, u.stage, u.kind)
+                if key in self._slot_of:
+                    raise ValueError(f"unit {u} scheduled twice")
+                if schedule.actor_of_stage(u.stage) != rank:
+                    raise ValueError(
+                        f"unit {u} scheduled on actor {rank}, but stage "
+                        f"{u.stage} belongs to actor {schedule.actor_of_stage(u.stage)}"
+                    )
+                slot = Slot(
+                    rank=rank,
+                    index=index,
+                    unit=u,
+                    acquires=1 if u.kind == FWD else 0,
+                    releases=1 if u.kind in (BWD, BWD_W) else 0,
+                )
+                row.append(slot)
+                self._slot_of[key] = slot
+            self.slots.append(row)
+
+        if set(self._slot_of) != expected:
+            missing = sorted(expected - set(self._slot_of))[:5]
+            raise ValueError(f"schedule incomplete; missing units like {missing}")
+
+        # resolve dependency edges slot-to-slot (edge completeness: every
+        # dep of a scheduled unit must itself be scheduled — guaranteed by
+        # the completeness check above, asserted here for clarity)
+        self._deps: dict[tuple[int, int], tuple[Slot, ...]] = {}
+        self._consumers: dict[tuple[int, int], list[Slot]] = {}
+        for row in self.slots:
+            for slot in row:
+                deps = []
+                for d in iter_unit_deps(slot.unit, self.n_stages):
+                    dep_slot = self._slot_of.get((d.mb, d.stage, d.kind))
+                    if dep_slot is None:  # pragma: no cover - completeness above
+                        raise ValueError(
+                            f"unit {slot.unit} depends on unscheduled unit {d}"
+                        )
+                    deps.append(dep_slot)
+                    self._consumers.setdefault(
+                        (dep_slot.rank, dep_slot.index), []
+                    ).append(slot)
+                self._deps[(slot.rank, slot.index)] = tuple(deps)
+
+        self._topo: list[Slot] | None = None
+
+    # -- table lookups -------------------------------------------------------
+    def slot_of(self, unit: Unit) -> Slot:
+        """The slot scheduling ``unit``."""
+        return self._slot_of[(unit.mb, unit.stage, unit.kind)]
+
+    def deps(self, slot: Slot) -> tuple[Slot, ...]:
+        """Data-dependency edges into ``slot`` (producing slots)."""
+        return self._deps[(slot.rank, slot.index)]
+
+    def consumers(self, slot: Slot) -> tuple[Slot, ...]:
+        """Data-dependency edges out of ``slot`` (consuming slots)."""
+        return tuple(self._consumers.get((slot.rank, slot.index), ()))
+
+    def cross_deps(self, slot: Slot) -> tuple[Slot, ...]:
+        """Dependencies of ``slot`` produced on a *different* rank — each
+        one is a send/recv pair at runtime."""
+        return tuple(d for d in self.deps(slot) if d.rank != slot.rank)
+
+    def cross_consumers(self, slot: Slot) -> tuple[Slot, ...]:
+        """Consumers of ``slot`` on a *different* rank."""
+        return tuple(c for c in self.consumers(slot) if c.rank != slot.rank)
+
+    def buffer_deps(self, slot: Slot) -> tuple[Slot, ...]:
+        """Dependencies instruction emitters materialise as buffer
+        references: every cross-rank dep (delivered by a recv), plus a
+        weight-gradient slot's local deps (its ``bwd_i`` buffer gates the
+        deferred work and carries its cost attribution).  Other intra-rank
+        deps are satisfied by program order alone."""
+        if slot.unit.kind == BWD_W:
+            return self.deps(slot)
+        return self.cross_deps(slot)
+
+    def send_dsts(self, slot: Slot) -> list[int]:
+        """Destination ranks of ``slot``'s output, one transfer per rank
+        (sorted for deterministic emission)."""
+        return sorted({c.rank for c in self.cross_consumers(slot)})
+
+    def edges(self) -> Iterator[tuple[Slot, Slot]]:
+        """All data-dependency edges as ``(producer, consumer)`` pairs."""
+        for row in self.slots:
+            for slot in row:
+                for dep in self.deps(slot):
+                    yield dep, slot
+
+    # -- aggregate shape -----------------------------------------------------
+    @property
+    def n_slots(self) -> int:
+        """Total scheduled slots."""
+        return sum(len(row) for row in self.slots)
+
+    @property
+    def n_edges(self) -> int:
+        """Total data-dependency edges."""
+        return sum(len(d) for d in self._deps.values())
+
+    @property
+    def n_cross_edges(self) -> int:
+        """Data edges crossing ranks (send/recv pairs at runtime)."""
+        return sum(
+            1
+            for (rank, _), deps in self._deps.items()
+            for d in deps
+            if d.rank != rank
+        )
+
+    @property
+    def n_intra_edges(self) -> int:
+        """Data edges satisfied locally (same rank)."""
+        return self.n_edges - self.n_cross_edges
+
+    # -- graph checks --------------------------------------------------------
+    def toposort(self) -> list[Slot]:
+        """Global topological order — greedy over ranks in program order,
+        §4.2's emission order (shared by the compiler, the performance
+        simulator, and the engine benchmarks).
+
+        Raises ``ValueError`` if the schedule cannot be executed.
+        """
+        if self._topo is not None:
+            return self._topo
+        order: list[Slot] = []
+        done: set[tuple[int, int, str]] = set()
+        pcs = [0] * self.n_ranks
+        total = self.n_slots
+        while len(order) < total:
+            progressed = False
+            for rank, row in enumerate(self.slots):
+                while pcs[rank] < len(row):
+                    slot = row[pcs[rank]]
+                    if not all(d.key in done for d in self.deps(slot)):
+                        break
+                    done.add(slot.key)
+                    order.append(slot)
+                    pcs[rank] += 1
+                    progressed = True
+            if not progressed:
+                stuck = [
+                    row[pcs[rank]].unit
+                    for rank, row in enumerate(self.slots)
+                    if pcs[rank] < len(row)
+                ]
+                raise ValueError(
+                    f"schedule deadlocks (not executable); stuck units: {stuck[:4]}"
+                )
+        self._topo = order
+        return order
+
+    def validate(self) -> "ScheduleIR":
+        """Graph checks on top of the construction-time table checks:
+        executability (the greedy topological walk covers every slot) and
+        the per-rank activation-memory bound when the schedule declares
+        one.  Returns ``self`` for chaining; raises ``ValueError``."""
+        peak = self.peak_live()  # runs toposort: raises on deadlock
+        for rank in range(self.n_ranks):
+            bound = self.schedule.activation_bound(rank, self.n_mbs)
+            if bound is not None and peak[rank] > bound:
+                raise ValueError(
+                    f"rank {rank} holds {peak[rank]} live activations, over "
+                    f"the schedule's declared bound of {bound}"
+                )
+        return self
+
+    def peak_live(self) -> list[int]:
+        """Peak live-activation count per rank along the topological walk."""
+        live = [0] * self.n_ranks
+        peak = [0] * self.n_ranks
+        for slot in self.toposort():
+            live[slot.rank] += slot.acquires - slot.releases
+            peak[slot.rank] = max(peak[slot.rank], live[slot.rank])
+        return peak
+
+    def initial_ready_ranks(self) -> list[int]:
+        """Ranks ordered for runtime ready-queue seeding: ranks whose first
+        slot has no unmet data dependency (they can start immediately)
+        first, the rest after, both in rank order."""
+        ready, blocked = [], []
+        for rank, row in enumerate(self.slots):
+            if row and not self.deps(row[0]):
+                ready.append(rank)
+            else:
+                blocked.append(rank)
+        return ready + blocked
+
+    # -- analytic costing ----------------------------------------------------
+    def stats(self, fwd_time: float = 1.0, bwd_time: float = 2.0) -> dict:
+        """Analytic execution of the IR under uniform stage costs.
+
+        Returns makespan, per-rank busy/idle (bubble) time, and peak count
+        of live activations per rank — the quantities behind §2.2.1's
+        memory and §5.1's throughput discussions.
+
+        For split-backward schedules the full backward cost is divided
+        between the input-gradient and weight-gradient units according to
+        the schedule's ``bwd_input_fraction``; an activation is held from
+        its forward until its weight-gradient unit retires it (encoded in
+        the slots' acquire/release annotations).
+        """
+        frac = self.schedule.bwd_input_fraction
+
+        def unit_time(u: Unit) -> float:
+            if u.kind == FWD:
+                return fwd_time
+            if u.kind == BWD:
+                return bwd_time
+            return bwd_time * (frac if u.kind == BWD_I else 1.0 - frac)
+
+        finish: dict[tuple[int, int, str], float] = {}
+        rank_time = [0.0] * self.n_ranks
+        live = [0] * self.n_ranks
+        peak_live = [0] * self.n_ranks
+        for slot in self.toposort():
+            start = max(
+                [rank_time[slot.rank]] + [finish[d.key] for d in self.deps(slot)]
+            )
+            end = start + unit_time(slot.unit)
+            finish[slot.key] = end
+            rank_time[slot.rank] = end
+            live[slot.rank] += slot.acquires - slot.releases
+            peak_live[slot.rank] = max(peak_live[slot.rank], live[slot.rank])
+        makespan = max(rank_time)
+        busy = [sum(unit_time(s.unit) for s in row) for row in self.slots]
+        return {
+            "makespan": makespan,
+            "busy": busy,
+            "bubble_fraction": 1.0 - sum(busy) / (makespan * self.n_ranks),
+            "peak_live_activations": peak_live,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ScheduleIR({self.schedule.name}, n_mbs={self.n_mbs}, "
+            f"slots={self.n_slots}, edges={self.n_edges} "
+            f"[{self.n_cross_edges} cross])"
+        )
+
+
+def lower_schedule(schedule: "Schedule", n_mbs: int) -> ScheduleIR:
+    """Lower ``schedule`` for ``n_mbs`` microbatches into a
+    :class:`ScheduleIR` (construction performs the table checks; call
+    :meth:`ScheduleIR.validate` for the graph checks)."""
+    return ScheduleIR(schedule, n_mbs)

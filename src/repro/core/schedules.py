@@ -1,5 +1,5 @@
-"""Pipeline schedules: GPipe, 1F1B, Interleaved 1F1B, Eager 1F1B, ZB-H1
-(§2.2.1, §4.2).
+"""Pipeline schedules: GPipe, 1F1B, Interleaved 1F1B, Eager 1F1B,
+zero-bubble ZB-H1/ZB-H2, looped-BFS, and interleaved-ZB (§2.2.1, §4.2).
 
 A schedule answers two questions:
 
@@ -10,29 +10,38 @@ A schedule answers two questions:
   ``(microbatch, stage, kind)`` — exactly the per-actor task lists of
   §4.2's listing.
 
-Schedules are *data*, not control flow: the compiler unrolls the loop into
-a task graph following the schedule, and the runtime executes whatever
-order the schedule chose — this user-extensibility is the paper's core
-flexibility claim (new schedules = new subclass, nothing else changes).
+Schedules are *data*, not control flow: :meth:`Schedule.lower` turns the
+per-actor unit lists into a dependency-explicit
+:class:`~repro.core.schedule_ir.ScheduleIR` — one table of slots and
+resolved edges that the compiler, the runtime, the performance simulator,
+and the visualiser all consume.  This user-extensibility is the paper's
+core flexibility claim: a new schedule is a new ``units()`` method, and
+nothing downstream changes.
 
-:func:`validate_schedule` checks the properties §2.2.1 requires: every
-(microbatch, stage) pair runs exactly once in each direction, backward runs
-on the forward's actor, and per-actor orders are consistent with the data
-dependencies (simulated to completion — a schedule that would deadlock is
-rejected here, before it ever reaches the runtime).
+:func:`validate_schedule` checks the properties §2.2.1 requires as graph
+checks over the lowered IR: every (microbatch, stage) pair runs exactly
+once in each direction, backward runs on the forward's actor, every
+dependency edge resolves, per-actor orders are executable (a schedule that
+would deadlock is rejected here, before it ever reaches the runtime), and
+the per-rank activation count stays within the schedule's declared bound.
 
-Schedules with ``backward_split = True`` (ZB-H1) split each backward into
-an **input-gradient** unit (``bwd_i`` — the part downstream stages depend
-on) and a **weight-gradient** unit (``bwd_w`` — purely local, free to fill
-pipeline bubbles).  The dependency structure follows Qi et al.'s zero-
-bubble decomposition: ``bwd_i`` of stage *s* needs the stage's forward and
-the ``bwd_i`` of stage *s+1*; ``bwd_w`` only needs the local ``bwd_i``.
+Schedules with ``backward_split = True`` (ZB-H1/H2, interleaved-ZB) split
+each backward into an **input-gradient** unit (``bwd_i`` — the part
+downstream stages depend on) and a **weight-gradient** unit (``bwd_w`` —
+purely local, free to fill pipeline bubbles).  The dependency structure
+follows Qi et al.'s zero-bubble decomposition: ``bwd_i`` of stage *s*
+needs the stage's forward and the ``bwd_i`` of stage *s+1*; ``bwd_w`` only
+needs the local ``bwd_i``.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator
+from collections import deque
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.schedule_ir import ScheduleIR
 
 __all__ = [
     "Unit",
@@ -42,9 +51,11 @@ __all__ = [
     "Eager1F1B",
     "Interleaved1F1B",
     "ZBH1",
+    "ZBH2",
+    "LoopedBFS",
+    "InterleavedZB",
     "validate_schedule",
     "schedule_stats",
-    "iter_unit_deps",
     "toposort_units",
 ]
 
@@ -92,6 +103,20 @@ class Schedule:
         """Per-actor ordered unit lists for ``n_mbs`` microbatches."""
         raise NotImplementedError
 
+    def lower(self, n_mbs: int) -> "ScheduleIR":
+        """Lower this schedule into its dependency-explicit
+        :class:`~repro.core.schedule_ir.ScheduleIR` — the single table the
+        compiler, runtime, simulator, and visualiser all consume."""
+        from repro.core.schedule_ir import lower_schedule
+
+        return lower_schedule(self, n_mbs)
+
+    def activation_bound(self, rank: int, n_mbs: int) -> int | None:
+        """Declared per-rank bound on concurrently live activations, or
+        ``None`` when the schedule makes no promise.  ``validate_schedule``
+        checks the lowered IR's peak live count against this."""
+        return None
+
     @property
     def name(self) -> str:
         """Display name."""
@@ -113,6 +138,9 @@ class GPipe(Schedule):
 
     def actor_of_stage(self, stage: int) -> int:
         return stage
+
+    def activation_bound(self, rank: int, n_mbs: int) -> int | None:
+        return n_mbs  # every microbatch's activation is live at the turn
 
     def units(self, n_mbs: int) -> list[list[Unit]]:
         out = []
@@ -139,6 +167,9 @@ class OneFOneB(Schedule):
 
     def actor_of_stage(self, stage: int) -> int:
         return stage
+
+    def activation_bound(self, rank: int, n_mbs: int) -> int | None:
+        return min(self.n_actors - rank, n_mbs)  # §2.2.1: bounded by stages
 
     def units(self, n_mbs: int) -> list[list[Unit]]:
         p = self.n_actors
@@ -246,6 +277,9 @@ class Eager1F1B(Schedule):
     def actor_of_stage(self, stage: int) -> int:
         return stage
 
+    def activation_bound(self, rank: int, n_mbs: int) -> int | None:
+        return min(2 * (self.n_actors - 1 - rank) + 1, n_mbs)
+
     def units(self, n_mbs: int) -> list[list[Unit]]:
         p = self.n_actors
         out = []
@@ -290,6 +324,9 @@ class ZBH1(Schedule):
     def actor_of_stage(self, stage: int) -> int:
         return stage
 
+    def activation_bound(self, rank: int, n_mbs: int) -> int | None:
+        return min(self.n_actors - rank, n_mbs)  # 1F1B's bound, kept
+
     def units(self, n_mbs: int) -> list[list[Unit]]:
         p = self.n_actors
         out = []
@@ -320,110 +357,219 @@ class ZBH1(Schedule):
         return "ZB-H1"
 
 
-# ---------------------------------------------------------------------------
-# validation & analysis
-# ---------------------------------------------------------------------------
+class ZBH2(Schedule):
+    """Zero-bubble ZB-H2 (Qi et al. 2024): ZB-H1 with the activation bound
+    relaxed from 1F1B's rank-dependent ``p - rank`` to a uniform
+    ``2p - 1``.
 
-def iter_unit_deps(unit: Unit, n_stages: int) -> Iterator[Unit]:
-    """Units that must complete before ``unit`` may run.
-
-    Encodes both the monolithic-backward dependency structure and the
-    zero-bubble split one (a unit's kind determines which applies — a
-    schedule's units are homogeneous in this respect).
+    Two things change relative to ZB-H1.  Each rank warms up with
+    ``2(p - 1 - rank)`` forwards (twice ZB-H1's), shrinking the warmup
+    bubble; and — crucially — the uniform bound lets *downstream* ranks
+    defer their weight-gradient units too, so the critical backward path
+    is a pure ``bwd_i`` chain (period ``fwd + bwd_i`` instead of
+    ``fwd + bwd_i + bwd_w`` on the last rank) and the deferred ``bwd_w``
+    work drains in the cooldown.  Peak activation memory roughly doubles
+    relative to ZB-H1/1F1B (``min(2p - 1, n_mbs)`` per rank) but stays
+    bounded by the stage count, never by the microbatch count — the
+    paper's "no bubble when memory allows" point on the memory/bubble
+    trade-off curve.
     """
-    if unit.kind == FWD:
-        if unit.stage > 0:
-            yield Unit(unit.mb, unit.stage - 1, FWD)
-    elif unit.kind == BWD:
-        yield Unit(unit.mb, unit.stage, FWD)
-        if unit.stage < n_stages - 1:
-            yield Unit(unit.mb, unit.stage + 1, BWD)
-    elif unit.kind == BWD_I:
-        yield Unit(unit.mb, unit.stage, FWD)
-        if unit.stage < n_stages - 1:
-            yield Unit(unit.mb, unit.stage + 1, BWD_I)
-    elif unit.kind == BWD_W:
-        yield Unit(unit.mb, unit.stage, BWD_I)
-    else:  # pragma: no cover - guarded by validate_schedule
-        raise ValueError(f"unknown unit kind {unit.kind!r}")
+
+    backward_split = True
+
+    def __init__(self, n_stages: int, n_actors: int | None = None):
+        if n_actors is None:
+            n_actors = n_stages
+        if n_stages != n_actors:
+            raise ValueError("ZBH2 places one stage per actor")
+        self.n_stages = n_stages
+        self.n_actors = n_actors
+
+    def actor_of_stage(self, stage: int) -> int:
+        return stage
+
+    def activation_bound(self, rank: int, n_mbs: int) -> int | None:
+        return min(2 * self.n_actors - 1, n_mbs)
+
+    def units(self, n_mbs: int) -> list[list[Unit]]:
+        p = self.n_actors
+        out = []
+        for rank in range(p):
+            bound = 2 * p - 1  # the relaxed H2 bound, uniform over ranks
+            warmup = min(2 * (p - 1 - rank), n_mbs)
+            seq = [Unit(i, rank, FWD) for i in range(warmup)]
+            nf, nb, nw = warmup, 0, 0
+            while nb < n_mbs:
+                if nf < n_mbs:
+                    seq.append(Unit(nf, rank, FWD))
+                    nf += 1
+                seq.append(Unit(nb, rank, BWD_I))
+                nb += 1
+                while nw < nb and nf - nw >= bound:
+                    seq.append(Unit(nw, rank, BWD_W))
+                    nw += 1
+            while nw < n_mbs:  # cooldown tail: pure bubble-filling
+                seq.append(Unit(nw, rank, BWD_W))
+                nw += 1
+            out.append(seq)
+        return out
+
+    @property
+    def name(self) -> str:
+        return "ZB-H2"
+
+
+class LoopedBFS(Schedule):
+    """Looped breadth-first schedule (Lamy-Poirier 2023, Llama-style):
+    circular-repeat placement like :class:`Interleaved1F1B` (stage ``s``
+    on actor ``s % n_actors``), but microbatches sweep *breadth-first* —
+    every microbatch runs through a stage chunk before any advances to the
+    next chunk, forward chunks in order, then backward chunks in reverse
+    with microbatches drained LIFO.
+
+    Each sweep is a GPipe wave over one chunk, so peak activation memory
+    grows with ``n_mbs * circular_repeat`` (all activations live at the
+    turn) — the trade for maximum send batching and a schedule whose
+    per-chunk communication is perfectly regular.
+    """
+
+    def __init__(self, n_actors: int, circular_repeat: int):
+        if circular_repeat < 1:
+            raise ValueError("circular_repeat must be >= 1")
+        self.n_actors = n_actors
+        self.v = circular_repeat
+        self.n_stages = n_actors * circular_repeat
+
+    def actor_of_stage(self, stage: int) -> int:
+        return stage % self.n_actors
+
+    def activation_bound(self, rank: int, n_mbs: int) -> int | None:
+        return n_mbs * self.v  # breadth-first holds every sweep's output
+
+    def units(self, n_mbs: int) -> list[list[Unit]]:
+        p, v = self.n_actors, self.v
+        out = []
+        for rank in range(p):
+            seq: list[Unit] = []
+            for chunk in range(v):  # forward sweeps, chunk by chunk
+                stage = chunk * p + rank
+                seq += [Unit(i, stage, FWD) for i in range(n_mbs)]
+            for chunk in reversed(range(v)):  # backward sweeps, reversed
+                stage = chunk * p + rank
+                seq += [Unit(i, stage, BWD) for i in reversed(range(n_mbs))]
+            out.append(seq)
+        return out
+
+    @property
+    def name(self) -> str:
+        return f"LoopedBFS(v={self.v})"
+
+
+class InterleavedZB(Interleaved1F1B):
+    """Interleaved zero-bubble: :class:`Interleaved1F1B`'s circular-repeat
+    order with Qi et al.'s backward split applied on top.
+
+    Each backward of the base interleaved order becomes its
+    input-gradient half (``bwd_i``) in place; the weight-gradient halves
+    are deferred and emitted (a) when holding another activation would
+    exceed the base schedule's peak, and (b) one after each ``bwd_i`` of
+    the cooldown drain, where the base order idles waiting on the backward
+    chain.  Downstream chunks wait only for the cheap ``bwd_i`` chain, so
+    the makespan drops below interleaved-1F1B's while peak activation
+    memory stays exactly at its level.
+    """
+
+    backward_split = True
+
+    def __init__(self, n_actors: int, circular_repeat: int):
+        super().__init__(n_actors, circular_repeat)
+        self._peaks_cache: dict[int, list[int]] = {}
+
+    def activation_bound(self, rank: int, n_mbs: int) -> int | None:
+        return self._base_peaks(n_mbs)[rank]
+
+    def _base_peaks(self, n_mbs: int, base: list[list[Unit]] | None = None) -> list[int]:
+        """Per-rank peak live activations of the base interleaved order —
+        the bounds the split variant preserves (computed from one base
+        table build, memoised per ``n_mbs``)."""
+        peaks = self._peaks_cache.get(n_mbs)
+        if peaks is None:
+            peaks = []
+            for seq in base if base is not None else super().units(n_mbs):
+                live = peak = 0
+                for u in seq:
+                    live += 1 if u.kind == FWD else -1
+                    peak = max(peak, live)
+                peaks.append(peak)
+            self._peaks_cache[n_mbs] = peaks
+        return peaks
+
+    def units(self, n_mbs: int) -> list[list[Unit]]:
+        base = super().units(n_mbs)
+        bounds = self._base_peaks(n_mbs, base)
+        out = []
+        for rank, seq in enumerate(base):
+            bound = bounds[rank]
+            n_fwd_total = sum(1 for u in seq if u.kind == FWD)
+            new: list[Unit] = []
+            pending: deque[Unit] = deque()  # bwd_w units awaiting emission
+            live = nf = 0
+            for u in seq:
+                if u.kind == FWD:
+                    new.append(u)
+                    live += 1
+                    nf += 1
+                    continue
+                # base BWD -> bwd_i now, bwd_w deferred
+                new.append(Unit(u.mb, u.stage, BWD_I))
+                pending.append(u)
+                # retire weight-gradients eagerly enough to keep the
+                # activation count at the base interleaved peak (after the
+                # bwd_i, where the base order idles anyway — never in
+                # front of a forward, which would stall downstream)
+                while live >= bound and pending:
+                    w = pending.popleft()
+                    new.append(Unit(w.mb, w.stage, BWD_W))
+                    live -= 1
+                # cooldown drain (no forwards left): one weight-gradient
+                # per bwd_i fills the slot the base order spends waiting
+                # on the backward chain
+                if nf == n_fwd_total and pending:
+                    w = pending.popleft()
+                    new.append(Unit(w.mb, w.stage, BWD_W))
+                    live -= 1
+            while pending:  # whatever remains after the drain
+                w = pending.popleft()
+                new.append(Unit(w.mb, w.stage, BWD_W))
+            out.append(new)
+        return out
+
+    @property
+    def name(self) -> str:
+        return f"Interleaved-ZB(v={self.v})"
+
+
+# ---------------------------------------------------------------------------
+# validation & analysis — thin delegates over the lowered ScheduleIR
+# ---------------------------------------------------------------------------
+
+def validate_schedule(schedule: Schedule, n_mbs: int) -> None:
+    """Check completeness, placement, deadlock-freedom, and the per-rank
+    activation-memory bound of a schedule by lowering it to its
+    :class:`~repro.core.schedule_ir.ScheduleIR` and running the graph
+    checks.  Raises ``ValueError`` describing the first violation.
+    """
+    schedule.lower(n_mbs).validate()
 
 
 def toposort_units(schedule: Schedule, n_mbs: int) -> list[tuple[int, Unit]]:
     """Global topological order of a schedule's units as ``(actor, unit)``
-    pairs — greedy over actors in per-actor program order, §4.2's emission
-    order (shared by the compiler, the performance simulator, and the
-    engine benchmarks).
+    pairs (backwards-compatible wrapper over the IR — new code should
+    lower once and walk :meth:`ScheduleIR.toposort`).
 
     Raises ``ValueError`` if the schedule cannot be executed.
     """
-    per_actor = schedule.units(n_mbs)
-    order: list[tuple[int, Unit]] = []
-    done: set[tuple[int, int, str]] = set()
-    pcs = [0] * len(per_actor)
-    total = sum(len(s) for s in per_actor)
-    while len(order) < total:
-        progressed = False
-        for a, seq in enumerate(per_actor):
-            while pcs[a] < len(seq):
-                u = seq[pcs[a]]
-                deps = (
-                    (d.mb, d.stage, d.kind) for d in iter_unit_deps(u, schedule.n_stages)
-                )
-                if not all(d in done for d in deps):
-                    break
-                done.add((u.mb, u.stage, u.kind))
-                order.append((a, u))
-                pcs[a] += 1
-                progressed = True
-        if not progressed:
-            stuck = [seq[pcs[a]] for a, seq in enumerate(per_actor) if pcs[a] < len(seq)]
-            raise ValueError(
-                f"schedule deadlocks (not executable); stuck units: {stuck[:4]}"
-            )
-    return order
-
-
-def validate_schedule(schedule: Schedule, n_mbs: int) -> None:
-    """Check completeness, placement, and deadlock-freedom of a schedule.
-
-    Raises ``ValueError`` describing the first violation.
-    """
-    per_actor = schedule.units(n_mbs)
-    if len(per_actor) != schedule.n_actors:
-        raise ValueError("schedule emitted wrong number of actor lists")
-
-    kinds = (FWD, BWD_I, BWD_W) if schedule.backward_split else (FWD, BWD)
-    expected = {
-        (mb, s, k)
-        for mb in range(n_mbs)
-        for s in range(schedule.n_stages)
-        for k in kinds
-    }
-    seen: set[tuple[int, int, str]] = set()
-    for actor, seq in enumerate(per_actor):
-        for u in seq:
-            if u.kind not in kinds:
-                raise ValueError(
-                    f"unit {u} has kind {u.kind!r}, but this "
-                    f"{'split' if schedule.backward_split else 'monolithic'}"
-                    f"-backward schedule may only emit {kinds}"
-                )
-            key = (u.mb, u.stage, u.kind)
-            if key in seen:
-                raise ValueError(f"unit {u} scheduled twice")
-            seen.add(key)
-            if schedule.actor_of_stage(u.stage) != actor:
-                raise ValueError(
-                    f"unit {u} scheduled on actor {actor}, but stage "
-                    f"{u.stage} belongs to actor {schedule.actor_of_stage(u.stage)}"
-                )
-    if seen != expected:
-        missing = sorted(expected - seen)[:5]
-        raise ValueError(f"schedule incomplete; missing units like {missing}")
-
-    # Deadlock-freedom: the greedy topological walk must cover every unit
-    # (raises ValueError naming the stuck units otherwise).
-    toposort_units(schedule, n_mbs)
+    return [(s.rank, s.unit) for s in schedule.lower(n_mbs).toposort()]
 
 
 def schedule_stats(
@@ -432,63 +578,7 @@ def schedule_stats(
     fwd_time: float = 1.0,
     bwd_time: float = 2.0,
 ) -> dict:
-    """Analytic execution of a schedule under uniform stage costs.
-
-    Returns makespan, per-actor busy/idle (bubble) time, and peak count of
-    live activations per actor — the quantities behind §2.2.1's memory and
-    §5.1's throughput discussions.
-
-    For split-backward schedules the full backward cost is divided between
-    the input-gradient and weight-gradient units according to the
-    schedule's ``bwd_input_fraction``; an activation is held from its
-    forward until its weight-gradient unit retires it.
-    """
-
-    def unit_time(u: Unit) -> float:
-        if u.kind == FWD:
-            return fwd_time
-        if u.kind == BWD:
-            return bwd_time
-        f = schedule.bwd_input_fraction
-        return bwd_time * (f if u.kind == BWD_I else 1.0 - f)
-
-    per_actor = schedule.units(n_mbs)
-    finish: dict[tuple[int, int, str], float] = {}
-    actor_time = [0.0] * schedule.n_actors
-    live = [0] * schedule.n_actors
-    peak_live = [0] * schedule.n_actors
-    pcs = [0] * schedule.n_actors
-    total = sum(len(s) for s in per_actor)
-    executed = 0
-    while executed < total:
-        progress = False
-        for a, seq in enumerate(per_actor):
-            while pcs[a] < len(seq):
-                u = seq[pcs[a]]
-                deps = list(iter_unit_deps(u, schedule.n_stages))
-                if not all((d.mb, d.stage, d.kind) in finish for d in deps):
-                    break
-                start = max(
-                    [actor_time[a]] + [finish[(d.mb, d.stage, d.kind)] for d in deps]
-                )
-                end = start + unit_time(u)
-                finish[(u.mb, u.stage, u.kind)] = end
-                actor_time[a] = end
-                if u.kind == FWD:
-                    live[a] += 1
-                    peak_live[a] = max(peak_live[a], live[a])
-                elif u.kind in (BWD, BWD_W):
-                    live[a] -= 1
-                pcs[a] += 1
-                executed += 1
-                progress = True
-        if not progress:  # pragma: no cover - guarded by validate_schedule
-            raise ValueError("schedule deadlocks")
-    makespan = max(actor_time)
-    busy = [sum(unit_time(u) for u in seq) for seq in per_actor]
-    return {
-        "makespan": makespan,
-        "busy": busy,
-        "bubble_fraction": 1.0 - sum(busy) / (makespan * schedule.n_actors),
-        "peak_live_activations": peak_live,
-    }
+    """Analytic execution of a schedule under uniform stage costs (costs
+    the lowered :class:`~repro.core.schedule_ir.ScheduleIR` directly; see
+    :meth:`ScheduleIR.stats`)."""
+    return schedule.lower(n_mbs).stats(fwd_time=fwd_time, bwd_time=bwd_time)

@@ -22,10 +22,12 @@ from repro.core.schedules import (
     Eager1F1B,
     GPipe,
     Interleaved1F1B,
+    InterleavedZB,
+    LoopedBFS,
     OneFOneB,
     Schedule,
     ZBH1,
-    toposort_units,
+    ZBH2,
 )
 from repro.perf import comms
 from repro.perf.kernels import KernelModel
@@ -51,7 +53,8 @@ class PipelineSimConfig:
         n_mbs: microbatches per pipeline per step (gradient accumulation).
         kernels: software-stack kernel model.
         schedule: ``"interleaved"`` / ``"1f1b"`` / ``"gpipe"`` /
-            ``"eager1f1b"`` / ``"zbh1"``.
+            ``"eager1f1b"`` / ``"zbh1"`` / ``"zbh2"`` / ``"looped_bfs"`` /
+            ``"interleaved_zb"``.
         comm_mode: ASYNC (JaxPP overlapped P2P) or SYNC (blocking baseline).
     """
 
@@ -107,8 +110,16 @@ class PipelineSimConfig:
             if self.v != 1:
                 raise ValueError("ZB-H1 has no circular repeat")
             return ZBH1(self.pp)
+        if self.schedule == "zbh2":
+            if self.v != 1:
+                raise ValueError("ZB-H2 has no circular repeat")
+            return ZBH2(self.pp)
         if self.schedule == "interleaved":
             return Interleaved1F1B(self.pp, self.v)
+        if self.schedule == "looped_bfs":
+            return LoopedBFS(self.pp, self.v)
+        if self.schedule == "interleaved_zb":
+            return InterleavedZB(self.pp, self.v)
         raise ValueError(f"unknown schedule {self.schedule!r}")
 
 
@@ -161,14 +172,11 @@ def simulate_pipeline(cfg: PipelineSimConfig) -> SimResult:
     sched = cfg.build_schedule()
     n_stages = sched.n_stages
     chunk = cfg.layers_per_chunk
+    sched_ir = sched.lower(cfg.n_mbs)
 
     # ---- memory / remat decision -------------------------------------------
-    from repro.core.schedules import schedule_stats
-
-    stats = schedule_stats(sched, cfg.n_mbs)
-    peak_live = max(stats["peak_live_activations"]) / cfg.v if cfg.v > 1 else max(
-        stats["peak_live_activations"]
-    )
+    peak_chunks = sched_ir.peak_live()
+    peak_live = max(peak_chunks) / cfg.v if cfg.v > 1 else max(peak_chunks)
     # peak_live is counted in *chunks*; per-device layers = chunk * v.
     remat = decide_remat(
         model, gpu, cfg.pp, cfg.tp, cfg.mbs,
@@ -194,49 +202,27 @@ def simulate_pipeline(cfg: PipelineSimConfig) -> SimResult:
             t += kern.logits_time(model, gpu, cfg.mbs, cfg.tp, "bwd")
         return t
 
-    # ---- emit instruction programs -----------------------------------------
+    # ---- emit instruction programs from the schedule IR ---------------------
+    # the IR's slots are the tasks and its cross-rank edges are the
+    # transfers; nothing about unit dependencies is re-derived here
     topo = Topology(cluster=_adhoc_cluster(node, cfg.pp), gpus_per_actor=cfg.tp)
     boundary = model.boundary_bytes(cfg.mbs) / cfg.tp
 
-    per_actor = sched.units(cfg.n_mbs)
+    ir = sched_ir
     programs: list[list] = [[] for _ in range(cfg.pp)]
 
-    def uid(mb: int, stage: int, kind: str) -> str:
-        return f"{kind}{stage}.{mb}"
-
-    def incoming(u) -> tuple[int, str] | None:
-        """(source actor, uid) of the cross-actor input of unit ``u``."""
-        if u.kind == FWD and u.stage > 0:
-            src_stage, kind = u.stage - 1, FWD
-        elif u.kind in (BWD, BWD_I) and u.stage < n_stages - 1:
-            src_stage, kind = u.stage + 1, u.kind
-        else:
-            return None  # boundary stages and local weight-gradient units
-        src = sched.actor_of_stage(src_stage)
-        if src == sched.actor_of_stage(u.stage):
-            return None
-        return src, uid(u.mb, src_stage, kind)
-
-    def outgoing(u) -> int | None:
-        """Destination actor of unit ``u``'s output, if cross-actor."""
-        if u.kind == FWD and u.stage < n_stages - 1:
-            dst_stage = u.stage + 1
-        elif u.kind in (BWD, BWD_I) and u.stage > 0:
-            dst_stage = u.stage - 1
-        else:
-            return None
-        dst = sched.actor_of_stage(dst_stage)
-        return None if dst == sched.actor_of_stage(u.stage) else dst
+    def uid(u) -> str:
+        return f"{u.kind}{u.stage}.{u.mb}"
 
     remat_extra = remat.extra_fwd_fraction * kern.block_time(
         model, gpu, chunk, cfg.mbs, cfg.tp, "fwd"
     )
 
-    def make_task(u) -> RunTask:
-        in_refs = []
-        inc = incoming(u)
-        if inc is not None:
-            in_refs.append(BufferRef(inc[1]))
+    def make_task(slot) -> RunTask:
+        u = slot.unit
+        # cross-rank inputs arrive as recv'd buffers; the weight-gradient
+        # half waits on its local input-gradient buffer (ir.buffer_deps)
+        in_refs = [BufferRef(uid(d.unit)) for d in ir.buffer_deps(slot)]
         is_remat = False
         if u.kind == FWD:
             cost = fwd_cost(u.stage)
@@ -249,13 +235,12 @@ def simulate_pipeline(cfg: PipelineSimConfig) -> SimResult:
             cost = (bwd_cost(u.stage) - remat_extra) * sched.bwd_input_fraction + remat_extra
             is_remat = remat.extra_fwd_fraction > 0
         else:  # BWD_W: the deferred, purely local weight-gradient half
-            in_refs.append(BufferRef(uid(u.mb, u.stage, BWD_I)))
             cost = (bwd_cost(u.stage) - remat_extra) * (1.0 - sched.bwd_input_fraction)
         glyph = {FWD: "f", BWD: "b", BWD_I: "bi", BWD_W: "w"}[u.kind]
         return RunTask(
             name=f"{glyph}{u.stage}({u.mb})",
             in_refs=in_refs,
-            out_refs=[BufferRef(uid(u.mb, u.stage, u.kind))],
+            out_refs=[BufferRef(uid(u))],
             fn=None,
             cost=cost,
             meta={"kind": u.kind, "stage": u.stage, "mb": u.mb,
@@ -269,31 +254,31 @@ def simulate_pipeline(cfg: PipelineSimConfig) -> SimResult:
     # topological emission (valid under both comm modes).
     use_iter_order = cfg.comm_mode is CommMode.SYNC and cfg.schedule == "gpipe"
     if not use_iter_order:
-        # JaxPP emission (§4.2): global topological order, send+recv posted
-        # the moment the producer runs -> receivers prefetch.
-        for a, u in toposort_units(sched, cfg.n_mbs):
-            programs[a].append(make_task(u))
-            dst = outgoing(u)
-            if dst is not None:
-                key = uid(u.mb, u.stage, u.kind)
+        # JaxPP emission (§4.2): the IR's global topological order,
+        # send+recv posted the moment the producer runs -> receivers
+        # prefetch.
+        for slot in ir.toposort():
+            a = slot.rank
+            programs[a].append(make_task(slot))
+            key = uid(slot.unit)
+            for dst in ir.send_dsts(slot):
                 programs[a].append(Send(BufferRef(key), dst, key))
                 programs[dst].append(Recv(BufferRef(key), a, key, int(boundary)))
     else:
         # Synchronous lockstep (the SPMD-loop encoding of §2.2.2): each
         # iteration is recv -> compute -> send, per actor.
-        for a, seq in enumerate(per_actor):
-            for u in seq:
-                inc = incoming(u)
-                if inc is not None:
-                    programs[a].append(Recv(BufferRef(inc[1]), inc[0], inc[1], int(boundary)))
-                programs[a].append(make_task(u))
-                dst = outgoing(u)
-                if dst is not None:
-                    key = uid(u.mb, u.stage, u.kind)
+        for a, row in enumerate(ir.slots):
+            for slot in row:
+                for d in ir.cross_deps(slot):
+                    k = uid(d.unit)
+                    programs[a].append(Recv(BufferRef(k), d.rank, k, int(boundary)))
+                programs[a].append(make_task(slot))
+                key = uid(slot.unit)
+                for dst in ir.send_dsts(slot):
                     programs[a].append(Send(BufferRef(key), dst, key))
 
     executor = MpmdExecutor(cfg.pp, cost_model=_TopoCost(topo, kern), comm_mode=cfg.comm_mode)
-    res = executor.execute(programs)
+    res = executor.execute(programs, wake_order=ir.initial_ready_ranks())
 
     # ---- close the step: DP sync + optimizer --------------------------------
     dp_time = comms.dp_gradient_allreduce(model, node, cfg.pp, cfg.tp, cfg.dp)
@@ -338,7 +323,7 @@ def simulate_pipeline(cfg: PipelineSimConfig) -> SimResult:
         remat=remat,
         breakdown=breakdown,
         p2p_bytes=res.p2p_bytes,
-        n_tasks=len(per_actor[0]),
+        n_tasks=len(ir.slots[0]),
     )
 
 

@@ -4,12 +4,15 @@ executor that doubles as a discrete-event performance simulator."""
 
 from repro.runtime.clock import CostModel, LinearCost, ZeroCost
 from repro.runtime.executor import (
+    ENGINES,
+    TIE_BREAKS,
     CommMismatchError,
     CommMode,
     DeadlockError,
     ExecutionResult,
     MpmdExecutor,
     TimelineEvent,
+    WaitStat,
 )
 from repro.runtime.instructions import (
     Accumulate,
@@ -26,7 +29,7 @@ from repro.runtime.store import Buffer, ObjectStore
 __all__ = [
     "CostModel", "ZeroCost", "LinearCost",
     "MpmdExecutor", "CommMode", "DeadlockError", "CommMismatchError",
-    "ExecutionResult", "TimelineEvent",
+    "ExecutionResult", "TimelineEvent", "WaitStat", "ENGINES", "TIE_BREAKS",
     "BufferRef", "Instruction", "RunTask", "Send", "Recv", "Delete",
     "Accumulate", "AllReduce",
     "Buffer", "ObjectStore",

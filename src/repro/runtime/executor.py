@@ -90,11 +90,21 @@ __all__ = [
     "CommMismatchError",
     "TimelineEvent",
     "ExecutionResult",
+    "WaitStat",
     "MpmdExecutor",
     "ENGINES",
+    "TIE_BREAKS",
 ]
 
 ENGINES = ("event", "roundrobin")
+
+#: Ready-queue orderings for actors runnable at the same virtual time:
+#: ``"fifo"`` (default — wake order, the historical behaviour),
+#: ``"depth_first"`` (most recently woken first — chases a microbatch down
+#: the pipeline before starting the next), ``"rank"`` (lowest actor id
+#: first).  Execution is dataflow-deterministic, so every policy produces
+#: identical results; the policies exist to study scheduler-visit patterns.
+TIE_BREAKS = ("fifo", "depth_first", "rank")
 
 
 class CommMode(enum.Enum):
@@ -127,6 +137,21 @@ class TimelineEvent:
 
 
 @dataclasses.dataclass
+class WaitStat:
+    """Accumulated parking on one resource.
+
+    Attributes:
+        count: distinct parks (an instruction newly blocking on the
+            resource; re-polls of an unchanged wait are not counted).
+        total: total virtual time actors spent parked, charged to the
+            resource whose arrival released the instruction.
+    """
+
+    count: int = 0
+    total: float = 0.0
+
+
+@dataclasses.dataclass
 class ExecutionResult:
     """Outcome of one program execution.
 
@@ -141,6 +166,12 @@ class ExecutionResult:
         repolls: visits that re-examined an instruction still blocked on an
             unchanged wait condition (pure scheduler waste; zero under the
             event engine).
+        wait_profile: per-resource parked-time histogram — label
+            (``"buffer a0:uid"``, ``"channel 0->1"``,
+            ``"allreduce 'key'"``) to :class:`WaitStat`.  Virtual parked
+            time is charged to the resource that released the instruction,
+            so the histogram answers "which channels/buffers do actors
+            block on longest" for schedule tuning.
     """
 
     makespan: float
@@ -151,6 +182,13 @@ class ExecutionResult:
     engine: str = "event"
     visits: int = 0
     repolls: int = 0
+    wait_profile: dict[str, WaitStat] = dataclasses.field(default_factory=dict)
+
+    def top_waits(self, n: int = 5) -> list[tuple[str, WaitStat]]:
+        """The ``n`` resources actors spent longest parked on."""
+        return sorted(
+            self.wait_profile.items(), key=lambda kv: (-kv[1].total, kv[0])
+        )[:n]
 
 
 @dataclasses.dataclass
@@ -215,6 +253,9 @@ class _Actor:
         # last wait signature, for repoll accounting and diagnostics
         self.last_wait_sig: tuple | None = None
         self.wait: _Wait | None = None
+        # wait-profile bookkeeping: pc and virtual time of the current park
+        self.park_pc: int | None = None
+        self.park_time = 0.0
 
     @property
     def done(self) -> bool:
@@ -222,6 +263,19 @@ class _Actor:
 
     def current(self) -> Instruction | None:
         return None if self.done else self.program[self.pc]
+
+
+def _wait_label(wait: _Wait) -> str:
+    """Stable resource label for the wait-profile histogram: buffers keep
+    their uid (per-buffer attribution), posted sends/recvs aggregate per
+    channel, all-reduces per rendezvous key."""
+    if wait.kind == "buffer":
+        aid, uid = wait.key
+        return f"buffer a{aid}:{uid}"
+    if wait.kind == "match":
+        _, src, dst, _ = wait.key
+        return f"channel {src}->{dst}"
+    return f"allreduce {wait.key!r}"
 
 
 def _noop_put(actor_id: int, uid: str) -> None:
@@ -266,6 +320,10 @@ class _RunState:
         self.p2p_count = 0
         self.visits = 0
         self.repolls = 0
+        self.wait_profile: dict[str, WaitStat] = {}
+        # virtual start of the instruction the current step() executed —
+        # used to price how long a previously parked actor sat idle
+        self._exec_start = 0.0
         # engine hooks (event engine overrides these)
         self.on_put: Callable[[int, str], None] = _noop_put
         self.on_match: Callable[[Any], None] = _noop_match
@@ -325,16 +383,36 @@ class _RunState:
 
         Returns ``None`` on progress (pc advanced, possibly after posting a
         comm op) or a :class:`_Wait` naming the blocking resource.
+
+        Also maintains the per-resource wait profile: when an instruction
+        that previously parked finally runs, the virtual time between the
+        park and the instruction's start is charged to the resource whose
+        arrival released it (the last recorded wait).
         """
         self.visits += 1
+        pc_before = actor.pc
+        prev_wait = actor.wait
+        self._exec_start = actor.time
         wait = self._step_instr(actor)
         if wait is None:
+            if prev_wait is not None and actor.park_pc == pc_before:
+                stat = self.wait_profile.setdefault(_wait_label(prev_wait), WaitStat())
+                stat.total += max(0.0, self._exec_start - actor.park_time)
+            actor.park_pc = None
             actor.last_wait_sig = None
             actor.wait = None
         else:
             sig = (actor.pc, wait.kind, wait.key)
             if actor.last_wait_sig == sig:
                 self.repolls += 1
+            else:
+                # a fresh park: the first block of this instruction keeps
+                # its park time; moving on to the next missing resource of
+                # the same instruction re-labels but not re-clocks it
+                if actor.park_pc != actor.pc:
+                    actor.park_pc = actor.pc
+                    actor.park_time = actor.time
+                self.wait_profile.setdefault(_wait_label(wait), WaitStat()).count += 1
             actor.last_wait_sig = sig
             actor.wait = wait
         return wait
@@ -351,6 +429,7 @@ class _RunState:
                         f"buffer {r.uid!r} on actor {actor.id}",
                     )
             start = self.ready_time(actor, instr.in_refs)
+            self._exec_start = start
             overhead = self.cost.dispatch_overhead()
             dur = self.cost.task_time(instr.cost, instr.meta)
             end = start + overhead + dur
@@ -409,6 +488,7 @@ class _RunState:
                     f"recv of {post.key!r} on channel {actor.id}->{instr.dst}",
                     post=post, peers=(instr.dst,),
                 )
+            self._exec_start = post.end_time
             actor.time = max(actor.time, post.end_time)
             actor.pc += 1
             return None
@@ -430,6 +510,7 @@ class _RunState:
                     f"send of {post.key!r} on channel {instr.src}->{actor.id}",
                     post=post, peers=(instr.src,),
                 )
+            self._exec_start = post.end_time
             actor.time = max(actor.time, post.end_time)
             actor.pc += 1
             return None
@@ -454,6 +535,7 @@ class _RunState:
             start = self.ready_time(
                 actor, [instr.value] + ([instr.acc] if instr.acc in actor.store else [])
             )
+            self._exec_start = start
             vbuf = actor.store.get(instr.value)
             if instr.acc in actor.store:
                 abuf = actor.store.get(instr.acc)
@@ -490,6 +572,7 @@ class _RunState:
                     peers=missing,
                 )
             start = max(t for t, _ in posts.values())
+            self._exec_start = start
             buf0 = actor.store.get(instr.ref)
             dur = self.cost.collective_time(buf0.nbytes, instr.group)
             end = start + dur
@@ -606,6 +689,11 @@ class MpmdExecutor:
         engine: ``"event"`` (default, O(1) visits per instruction) or
             ``"roundrobin"`` (the polling-fixpoint reference; identical
             results, kept for differential testing).
+        tie_break: event-engine ready-queue ordering for actors runnable
+            at the same virtual time — one of :data:`TIE_BREAKS`
+            (``"fifo"`` default).  Results are identical under every
+            policy (dataflow determinism); only scheduler visit patterns
+            differ.  Ignored by the round-robin reference.
     """
 
     def __init__(
@@ -614,13 +702,19 @@ class MpmdExecutor:
         cost_model: CostModel | None = None,
         comm_mode: CommMode = CommMode.ASYNC,
         engine: str = "event",
+        tie_break: str = "fifo",
     ):
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if tie_break not in TIE_BREAKS:
+            raise ValueError(
+                f"unknown tie_break {tie_break!r}; expected one of {TIE_BREAKS}"
+            )
         self.n_actors = n_actors
         self.cost = cost_model or ZeroCost()
         self.comm_mode = comm_mode
         self.engine = engine
+        self.tie_break = tie_break
         self.stores = [ObjectStore(i) for i in range(n_actors)]
 
     # -- store management (driver-facing) -------------------------------------
@@ -651,8 +745,21 @@ class MpmdExecutor:
         store.put(dst, value, nbytes, pinned=pinned)
 
     # -- execution --------------------------------------------------------------
-    def execute(self, programs: Sequence[Sequence[Instruction]]) -> ExecutionResult:
+    def execute(
+        self,
+        programs: Sequence[Sequence[Instruction]],
+        wake_order: Sequence[int] | None = None,
+    ) -> ExecutionResult:
         """Run one fused program per actor to completion.
+
+        Args:
+            programs: one instruction stream per actor.
+            wake_order: optional initial ready-queue seeding order for the
+                event engine — typically
+                :meth:`ScheduleIR.initial_ready_ranks`, so actors whose
+                first slot has no unmet dependency are polled first.
+                Results are identical either way (dataflow determinism);
+                ignored by the round-robin reference.
 
         Raises:
             DeadlockError: if no actor can progress (mis-ordered send/recv
@@ -667,7 +774,7 @@ class MpmdExecutor:
         state = _RunState(actors, self.stores, self.cost, self.comm_mode)
 
         if self.engine == "event":
-            self._drive_event(state)
+            self._drive_event(state, wake_order)
         else:
             self._drive_roundrobin(state)
 
@@ -690,24 +797,36 @@ class MpmdExecutor:
             engine=self.engine,
             visits=state.visits,
             repolls=state.repolls,
+            wait_profile=state.wait_profile,
         )
 
     # -- scheduling loops --------------------------------------------------------
-    def _drive_event(self, state: _RunState) -> None:
+    def _drive_event(
+        self, state: _RunState, wake_order: Sequence[int] | None = None
+    ) -> None:
         """Ready-queue + wait-list scheduler (see module docstring)."""
         actors = state.actors
-        ready: list[tuple[float, int, int]] = []  # (virtual time, seq, actor id)
+        # heap entries are (virtual time, tie-break key, actor id); the
+        # tie-break key orders actors runnable at the same virtual time
+        ready: list[tuple[float, int, int]] = []
         seq = 0
         scheduled = [False] * len(actors)
         buffer_waiters: dict[tuple[int, str], list[int]] = {}
         allreduce_waiters: dict[str, list[int]] = {}
+        tie_break = self.tie_break
 
         def wake(aid: int) -> None:
             nonlocal seq
             if scheduled[aid] or actors[aid].done:
                 return
             scheduled[aid] = True
-            heapq.heappush(ready, (actors[aid].time, seq, aid))
+            if tie_break == "depth_first":
+                key = -seq  # most recently woken first
+            elif tie_break == "rank":
+                key = aid  # lowest actor id first
+            else:  # fifo
+                key = seq
+            heapq.heappush(ready, (actors[aid].time, key, aid))
             seq += 1
 
         def on_put(aid: int, uid: str) -> None:
@@ -727,8 +846,16 @@ class MpmdExecutor:
         state.on_match = on_match
         state.on_allreduce = on_allreduce
 
-        for a in actors:
-            wake(a.id)
+        # seed the ready-queue — from the schedule IR's hint when given
+        # (ranks with a dependency-free first slot first), else actor order
+        if wake_order is not None:
+            seeded = [aid for aid in wake_order if 0 <= aid < len(actors)]
+            known = set(seeded)
+            seeded += [a.id for a in actors if a.id not in known]
+        else:
+            seeded = [a.id for a in actors]
+        for aid in seeded:
+            wake(aid)
         while ready:
             _, _, aid = heapq.heappop(ready)
             scheduled[aid] = False

@@ -16,28 +16,53 @@ __all__ = ["render_schedule", "render_timeline"]
 
 
 def render_schedule(schedule: Schedule, n_mbs: int, width: int | None = None) -> str:
-    """Figure-2-style logical timeline of a schedule.
+    """Figure-2-style logical timeline of a schedule, drawn from its
+    lowered :class:`~repro.core.schedule_ir.ScheduleIR` slot table.
 
-    Each cell is one unit: ``F3`` = forward of microbatch 3 (lowercase for
+    Each cell is one slot: ``F3`` = forward of microbatch 3 (lowercase for
     backward). Zero-bubble split backwards render as ``i3`` (input
     gradient) and ``w3`` (weight gradient). With circular repeat, the
     chunk index is appended as ``F3'1`` for stage chunk 1. Cells advance
     in per-actor program order with stalls ignored (this is the *logical*
     order the paper's Figure 2 shows, not wall-clock).
+
+    ``width`` limits each row *without* clipping a label mid-cell: labels
+    are first abbreviated (the chunk suffix is dropped), and when whole
+    cells still do not fit the row ends with ``…`` at a cell boundary.
     """
     glyph = {"fwd": "F", "bwd": "b", "bwd_i": "i", "bwd_w": "w"}
-    rows = []
-    for actor, seq in enumerate(schedule.units(n_mbs)):
-        cells = []
-        for u in seq:
-            chunk = u.stage // schedule.n_actors
+    ir = schedule.lower(n_mbs)
+    has_chunks = schedule.n_stages > schedule.n_actors
+
+    def cells_for(row, with_chunk: bool) -> list[str]:
+        out = []
+        for slot in row:
+            u = slot.unit
             tag = f"{glyph.get(u.kind, '?')}{u.mb}"
-            if schedule.n_stages > schedule.n_actors:
-                tag += f"'{chunk}"
-            cells.append(tag)
+            if with_chunk:
+                tag += f"'{u.stage // schedule.n_actors}"
+            out.append(tag)
+        return out
+
+    rows = []
+    for actor, slot_row in enumerate(ir.slots):
+        cells = cells_for(slot_row, has_chunks)
         row = " ".join(cells)
-        if width:
-            row = row[:width]
+        if width and len(row) > width and has_chunks:
+            # abbreviation level 1: drop the chunk suffix
+            cells = cells_for(slot_row, False)
+            row = " ".join(cells)
+        if width and len(row) > width:
+            # still too long: keep whole cells and elide at a boundary
+            fitted: list[str] = []
+            used = 0
+            for cell in cells:
+                step = len(cell) + (1 if fitted else 0)
+                if used + step + 2 > width:  # reserve room for " …"
+                    break
+                fitted.append(cell)
+                used += step
+            row = " ".join(fitted) + " …"
         rows.append(f"actor {actor}: {row}")
     return "\n".join(rows)
 

@@ -11,9 +11,12 @@ from repro.core.schedules import (
     Eager1F1B,
     GPipe,
     Interleaved1F1B,
+    InterleavedZB,
+    LoopedBFS,
     OneFOneB,
     Unit,
     ZBH1,
+    ZBH2,
     schedule_stats,
     validate_schedule,
 )
@@ -235,6 +238,110 @@ class TestZBH1:
             ZBH1(4, n_actors=2)
 
 
+class TestZBH2:
+    @pytest.mark.parametrize("p,m", [(2, 2), (2, 5), (3, 6), (4, 4), (4, 8), (4, 11), (8, 32)])
+    def test_valid_on_grid(self, p, m):
+        validate_schedule(ZBH2(p), m)
+
+    def test_smaller_bubble_than_zbh1(self):
+        # the relaxed memory bound buys a smaller warmup bubble and a
+        # faster bwd_i critical chain (weight-gradients deferred on every
+        # rank, including the last)
+        z2 = schedule_stats(ZBH2(4), 8, fwd_time=1.0, bwd_time=2.0)
+        z1 = schedule_stats(ZBH1(4), 8, fwd_time=1.0, bwd_time=2.0)
+        assert z2["makespan"] < z1["makespan"]
+        assert z2["bubble_fraction"] < z1["bubble_fraction"]
+
+    def test_memory_roughly_doubles_but_stays_stage_bounded(self):
+        z2 = schedule_stats(ZBH2(4), 32)["peak_live_activations"]
+        z1 = schedule_stats(ZBH1(4), 32)["peak_live_activations"]
+        assert max(z2) == 2 * max(z1) - 1  # 2p - 1 vs p
+        # still independent of the microbatch count
+        assert z2 == schedule_stats(ZBH2(4), 16)["peak_live_activations"]
+
+    def test_work_conserved(self):
+        z2 = schedule_stats(ZBH2(4), 8, fwd_time=1.0, bwd_time=2.0)
+        o = schedule_stats(OneFOneB(4), 8, fwd_time=1.0, bwd_time=2.0)
+        assert z2["busy"] == pytest.approx(o["busy"])
+
+    def test_one_stage_per_actor(self):
+        with pytest.raises(ValueError):
+            ZBH2(4, n_actors=2)
+
+
+class TestLoopedBFS:
+    @pytest.mark.parametrize("p,v,m", [(2, 2, 4), (2, 3, 5), (4, 2, 8), (4, 3, 4), (3, 2, 7)])
+    def test_valid_on_grid(self, p, v, m):
+        validate_schedule(LoopedBFS(p, v), m)
+
+    def test_breadth_first_sweeps(self):
+        # per actor: all microbatches through chunk 0, then chunk 1, ...;
+        # backward chunks reversed, microbatches drained LIFO
+        for rank, seq in enumerate(LoopedBFS(2, 2).units(3)):
+            stages = [u.stage for u in seq]
+            assert stages == [rank] * 3 + [2 + rank] * 3 + [2 + rank] * 3 + [rank] * 3
+            fwd_mbs = [u.mb for u in seq if u.kind == "fwd"]
+            bwd_mbs = [u.mb for u in seq if u.kind == "bwd"]
+            assert fwd_mbs == [0, 1, 2, 0, 1, 2]
+            assert bwd_mbs == [2, 1, 0, 2, 1, 0]
+
+    def test_round_robin_placement(self):
+        s = LoopedBFS(4, 2)
+        assert [s.actor_of_stage(i) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_memory_grows_with_microbatches(self):
+        # the BFS trade-off: GPipe-like memory, scaled by circular repeat
+        small = schedule_stats(LoopedBFS(2, 2), 4)["peak_live_activations"]
+        large = schedule_stats(LoopedBFS(2, 2), 8)["peak_live_activations"]
+        assert large[0] == 2 * small[0] == 16
+
+    def test_no_divisibility_constraint(self):
+        # unlike Interleaved1F1B, BFS sweeps need no n_mbs % p == 0
+        validate_schedule(LoopedBFS(4, 2), 5)
+
+    def test_circular_repeat_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LoopedBFS(4, 0)
+
+
+class TestInterleavedZB:
+    @pytest.mark.parametrize("p,v,m", [(2, 2, 4), (2, 3, 6), (4, 2, 8), (4, 3, 12)])
+    def test_valid_on_grid(self, p, v, m):
+        validate_schedule(InterleavedZB(p, v), m)
+
+    def test_backward_is_split(self):
+        kinds = {u.kind for seq in InterleavedZB(2, 2).units(4) for u in seq}
+        assert kinds == {"fwd", BWD_I, BWD_W}
+
+    def test_same_peak_memory_as_interleaved(self):
+        iz = schedule_stats(InterleavedZB(4, 2), 8)["peak_live_activations"]
+        ib = schedule_stats(Interleaved1F1B(4, 2), 8)["peak_live_activations"]
+        assert iz == ib
+
+    def test_smaller_makespan_than_interleaved(self):
+        # zero-bubble inside the circular-repeat family: same memory,
+        # smaller bubble, because downstream chunks wait only on bwd_i
+        iz = schedule_stats(InterleavedZB(4, 2), 8, fwd_time=1.0, bwd_time=2.0)
+        ib = schedule_stats(Interleaved1F1B(4, 2), 8, fwd_time=1.0, bwd_time=2.0)
+        assert iz["makespan"] < ib["makespan"]
+
+    def test_work_conserved(self):
+        iz = schedule_stats(InterleavedZB(4, 2), 8, fwd_time=1.0, bwd_time=2.0)
+        ib = schedule_stats(Interleaved1F1B(4, 2), 8, fwd_time=1.0, bwd_time=2.0)
+        assert iz["busy"] == pytest.approx(ib["busy"])
+
+    def test_requires_divisible_microbatches(self):
+        with pytest.raises(ValueError):
+            InterleavedZB(4, 2).units(6)
+
+    def test_weight_grad_follows_input_grad_locally(self):
+        for seq in InterleavedZB(2, 2).units(6):
+            pos = {(u.mb, u.stage, u.kind): i for i, u in enumerate(seq)}
+            for (mb, stage, kind), i in pos.items():
+                if kind == BWD_W:
+                    assert pos[(mb, stage, BWD_I)] < i
+
+
 class TestValidation:
     def test_detects_duplicate(self):
         class Bad(OneFOneB):
@@ -282,9 +389,12 @@ class TestScheduleProperties:
         p=st.integers(2, 6),
         m_mult=st.integers(1, 4),
         v=st.integers(1, 3),
-        kind=st.sampled_from(["gpipe", "1f1b", "interleaved", "eager1f1b", "zbh1"]),
+        kind=st.sampled_from(
+            ["gpipe", "1f1b", "interleaved", "eager1f1b", "zbh1",
+             "zbh2", "looped_bfs", "interleaved_zb"]
+        ),
     )
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=80, deadline=None)
     def test_random_configs_valid(self, p, m_mult, v, kind):
         m = p * m_mult
         if kind == "gpipe":
@@ -295,6 +405,12 @@ class TestScheduleProperties:
             sched = Eager1F1B(p)
         elif kind == "zbh1":
             sched = ZBH1(p)
+        elif kind == "zbh2":
+            sched = ZBH2(p)
+        elif kind == "looped_bfs":
+            sched = LoopedBFS(p, v)
+        elif kind == "interleaved_zb":
+            sched = InterleavedZB(p, v)
         else:
             sched = Interleaved1F1B(p, v)
         validate_schedule(sched, m)

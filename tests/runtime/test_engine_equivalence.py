@@ -149,7 +149,10 @@ SCHEDULES = [
     core.OneFOneB(4),
     core.Eager1F1B(4),
     core.ZBH1(4),
+    core.ZBH2(4),
     core.Interleaved1F1B(2, 2),
+    core.LoopedBFS(2, 2),
+    core.InterleavedZB(2, 2),
 ]
 
 
@@ -171,6 +174,38 @@ class TestCompiledEquivalence:
         assert res_a.timeline == res_b.timeline
         assert res_a.p2p_count == res_b.p2p_count
         assert res_a.repolls == 0
+
+    @pytest.mark.parametrize("schedule", SCHEDULES, ids=lambda s: s.name)
+    @pytest.mark.parametrize("tie_break", ["fifo", "depth_first", "rank"])
+    def test_tie_break_policies_identical(self, schedule, tie_break):
+        """Every ready-queue tie-break must reproduce the round-robin
+        reference bit-for-bit: execution is dataflow-deterministic, so the
+        policy may only change scheduler visit patterns."""
+        train_step, params, batch = _mlp_problem()
+        mesh = core.RemoteMesh(
+            (schedule.n_actors,), engine="event", tie_break=tie_break
+        )
+        step = mesh.distributed(train_step, schedule=schedule)
+        (p_a, l_a) = step(params, batch)
+        res_a = step.last_result
+
+        ref_mesh = core.RemoteMesh((schedule.n_actors,), engine="roundrobin")
+        ref_step = ref_mesh.distributed(train_step, schedule=schedule)
+        (p_b, l_b) = ref_step(params, batch)
+        res_b = ref_step.last_result
+
+        for k in p_a:
+            np.testing.assert_array_equal(p_a[k], p_b[k])
+        np.testing.assert_array_equal(l_a, l_b)
+        assert res_a.makespan == res_b.makespan
+        assert res_a.timeline == res_b.timeline
+        assert res_a.repolls == 0
+
+    def test_unknown_tie_break_rejected(self):
+        with pytest.raises(ValueError, match="tie_break"):
+            MpmdExecutor(2, tie_break="lifo")
+        with pytest.raises(ValueError, match="tie_break"):
+            core.RemoteMesh((2,), tie_break="lifo")
 
     def test_data_parallel_allreduce_identical(self):
         train_step, params, batch = _mlp_problem(n_stages=2, mbsz=4)
@@ -251,3 +286,92 @@ class TestDeadlockDiagnostics:
             ex.execute(progs)
         msg = str(exc.value)
         assert "rendezvous 'k'" in msg and "missing actors [1]" in msg
+
+
+class TestWaitProfile:
+    """The per-resource time-parked histogram on ExecutionResult."""
+
+    def _producer_consumer(self, cost=3.0):
+        """Consumer on actor 0 (polled first by both engines, so it
+        genuinely parks), slow producer on actor 1."""
+
+        def const(v):
+            return lambda vals: [np.asarray(v)]
+
+        return [
+            [
+                Recv(B("x"), 1, "x", 8),
+                RunTask("use", [B("x")], [B("y")], fn=lambda v: v,
+                        meta={"out_nbytes": [8]}),
+            ],
+            [
+                RunTask("slow", [], [B("x")], fn=const(1.0), cost=cost,
+                        meta={"out_nbytes": [8]}),
+                Send(B("x"), 0, "x"),
+            ],
+        ]
+
+    @pytest.mark.parametrize("engine", ["event", "roundrobin"])
+    def test_parked_time_charged_to_buffer(self, engine):
+        # actor 0 posts its recv at t=0 and its consuming task parks on
+        # the buffer until the slow producer delivers at t=3
+        ex = MpmdExecutor(2, cost_model=LinearCost(), comm_mode=CommMode.ASYNC,
+                          engine=engine)
+        res = ex.execute(self._producer_consumer(cost=3.0))
+        assert "buffer a0:x" in res.wait_profile
+        stat = res.wait_profile["buffer a0:x"]
+        assert stat.count == 1
+        assert stat.total == pytest.approx(3.0, abs=0.2)
+
+    @pytest.mark.parametrize("engine", ["event", "roundrobin"])
+    def test_sync_mode_charges_channels(self, engine):
+        ex = MpmdExecutor(2, cost_model=LinearCost(p2p_latency=0.5),
+                          comm_mode=CommMode.SYNC, engine=engine)
+        res = ex.execute(self._producer_consumer(cost=2.0))
+        # the receiver parks on the 1->0 channel until the send matches
+        assert any(label == "channel 1->0" for label in res.wait_profile)
+        assert all(s.total >= 0.0 and s.count > 0 for s in res.wait_profile.values())
+
+    def test_top_waits_sorted_by_parked_time(self):
+        ex = MpmdExecutor(2, cost_model=LinearCost(), engine="event")
+        res = ex.execute(self._producer_consumer())
+        top = res.top_waits(10)
+        totals = [stat.total for _, stat in top]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_no_waits_no_profile(self):
+        ex = MpmdExecutor(1, engine="event")
+        res = ex.execute([[RunTask("a", [], [B("x")], fn=lambda v: [1.0])]])
+        assert res.wait_profile == {}
+
+    def test_compiled_step_exposes_profile(self):
+        train_step, params, batch = _mlp_problem(n_stages=2, mbsz=4)
+        from repro.runtime import LinearCost as LC
+
+        mesh = core.RemoteMesh((2,), cost_model=LC(p2p_latency=0.01))
+        step = mesh.distributed(train_step, schedule=core.OneFOneB(2),
+                                cost_fn=lambda task: 0.01)
+        step(params, batch)
+        prof = step.last_result.wait_profile
+        assert prof, "a real pipeline must park at least once"
+        assert all(s.count > 0 and s.total >= 0.0 for s in prof.values())
+
+
+class TestTieBreakRandomized:
+    @given(
+        seed=st.integers(0, 3_000),
+        tie_break=st.sampled_from(["fifo", "depth_first", "rank"]),
+        mode=st.sampled_from([CommMode.ASYNC, CommMode.SYNC]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_dags_identical_under_all_policies(self, seed, tie_break, mode):
+        def build():
+            programs, _, _ = build_random_program(seed, 4, 16)
+            return programs
+
+        results = {}
+        for engine, tb in [("event", tie_break), ("roundrobin", "fifo")]:
+            ex = MpmdExecutor(4, cost_model=LinearCost(p2p_latency=0.01),
+                              comm_mode=mode, engine=engine, tie_break=tb)
+            results[engine] = (ex, ex.execute(build()))
+        assert_identical(results)
