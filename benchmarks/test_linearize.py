@@ -1,0 +1,178 @@
+"""Linear task VM guard: the steady-state dispatch claim, measured.
+
+The paper's economics are "pay trace/compile once, dispatch cheaply at
+steady state".  For the numeric runtime that means the per-microbatch hot
+path must not re-interpret stage jaxprs.  This benchmark pins the claim on
+the transformer example (the paper's headline workload at laptop scale):
+
+- **dispatch guard** — per training step, the linear backend performs
+  strictly fewer VM instructions than the interpreter's equation
+  dispatches (fusion + folding + identity elision), and at least **2x
+  fewer Python-level calls**.  Per equation the interpreter costs
+  ``bind + abstract_eval + impl`` plus two normalizations per operand
+  (``_concretize`` + ``abstractify``); the VM costs one pre-bound call
+  per instruction — both counts are computed statically from the lowered
+  programs, so the guard is deterministic.
+
+- **wall-clock guard** — lowering once must also *win* time: evaluating
+  the transformer's gradient jaxpr through the VM must be no slower than
+  the tree-walking interpreter (in practice it is several times faster;
+  the guard only asserts parity to stay robust on noisy CI machines).
+
+A ``BENCH_linearize.json`` perf record is emitted next to the usual text
+artefact so the trajectory is tracked across PRs.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from repro import core, ir
+from repro.core.compile import compile_train_step
+from repro.data import token_batches
+from repro.ir.linearize import LinearProgram, linearize
+from repro.models import TransformerConfig, init_transformer, transformer_loss
+from repro.runtime.instructions import RunTask
+
+from .conftest import emit
+
+CFG = TransformerConfig(
+    vocab=32, seq=12, d_model=32, n_heads=4, d_ff=64,
+    n_layers=4, n_stages=4, tie_embeddings=False,
+)
+N_MBS, MBSZ = 4, 8
+
+
+def _transformer_step():
+    params = init_transformer(np.random.RandomState(0), CFG)
+    batch = next(token_batches(CFG.vocab, CFG.seq, N_MBS, MBSZ, 1, seed=2))
+
+    def train_step(params, batch):
+        def microbatch_grads(mb):
+            loss, grads = ir.value_and_grad(
+                lambda p, mb: transformer_loss(p, mb, CFG)
+            )(params, mb)
+            return grads, loss
+
+        grads, losses = core.accumulate_grads(microbatch_grads, core.OneFOneB(CFG.n_stages))(batch)
+        new = ir.tree_map(lambda w, g: ir.ops.sub(w, ir.ops.mul(0.01, g)), params, grads)
+        return new, losses
+
+    return train_step, params, batch
+
+
+def test_linear_backend_dispatch_and_wallclock_guard(results_dir):
+    train_step, params, batch = _transformer_step()
+    jaxpr, _, _ = ir.trace(train_step, params, batch)
+    compiled = compile_train_step(jaxpr, core.OneFOneB(CFG.n_stages))
+
+    # ---- static per-step dispatch accounting over every loop RunTask ----
+    totals = {"eqns": 0, "instructions": 0, "vm_calls": 0, "interp_calls": 0}
+    per_task: dict[int, dict] = {}
+    for prog in compiled.programs:
+        for instr in prog:
+            if isinstance(instr, RunTask) and isinstance(instr.fn, LinearProgram):
+                s = instr.fn.stats
+                totals["eqns"] += s["n_eqns"]
+                totals["instructions"] += s["n_instructions"]
+                totals["vm_calls"] += s["vm_calls_per_run"]
+                totals["interp_calls"] += s["interp_calls_per_run"]
+                per_task.setdefault(id(instr.fn), s)
+
+    assert totals["instructions"] > 0, "no linear task payloads found"
+    # strictly fewer VM instructions than interpreter eqn dispatches
+    assert totals["instructions"] < totals["eqns"]
+    # >= 2x fewer Python-level dispatches per step (the acceptance bar)
+    call_ratio = totals["interp_calls"] / totals["vm_calls"]
+    assert call_ratio >= 2.0, f"dispatch reduction only {call_ratio:.2f}x"
+    # lowering happened once per distinct task, not once per microbatch
+    n_tasks_with_payload = len(per_task)
+    assert n_tasks_with_payload <= len(compiled.split.tasks)
+
+    # ---- wall-clock: transformer gradient jaxpr, VM vs interpreter -------
+    mb = (batch[0][0], batch[1][0])
+    grad_jaxpr, _, _ = ir.trace(
+        lambda p, mb: ir.value_and_grad(
+            lambda p, mb: transformer_loss(p, mb, CFG)
+        )(p, mb),
+        params, mb,
+    )
+    flat, _ = ir.tree_flatten((params, mb))
+    prog = linearize(grad_jaxpr)
+
+    ref = ir.eval_jaxpr(grad_jaxpr, flat)
+    got = prog(flat)
+    for a, b in zip(ref, got):
+        np.testing.assert_array_equal(np.asarray(a), np.asarray(b))
+
+    def best_of(fn, repeats=7):
+        fn()  # warm
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    t_interp = best_of(lambda: ir.eval_jaxpr(grad_jaxpr, flat))
+    t_linear = best_of(lambda: prog(flat))
+    assert t_linear <= t_interp, (
+        f"linear VM slower than interpreter: {t_linear:.6f}s vs {t_interp:.6f}s"
+    )
+
+    gstats = prog.stats
+    record = {
+        "model": "mini-GPT 4L/4stages d=32",
+        "per_step": dict(totals, call_ratio=round(call_ratio, 3),
+                         eqn_ratio=round(totals["eqns"] / totals["instructions"], 3)),
+        "grad_jaxpr": {
+            "n_eqns": gstats["n_eqns"],
+            "n_instructions": gstats["n_instructions"],
+            "folded": gstats["folded"],
+            "aliased": gstats["aliased"],
+            "fused_away": gstats["fused_away"],
+            "donations": gstats["donations"],
+        },
+        "wallclock_s": {
+            "interpret": round(t_interp, 6),
+            "linear": round(t_linear, 6),
+            "speedup": round(t_interp / t_linear, 3),
+        },
+    }
+    (results_dir / "BENCH_linearize.json").write_text(json.dumps(record, indent=2) + "\n")
+
+    lines = [
+        "linear task VM vs tree-walking interpreter (transformer example)",
+        "",
+        f"per-step loop tasks : {totals['eqns']} eqn dispatches -> "
+        f"{totals['instructions']} VM instructions "
+        f"({totals['eqns'] / totals['instructions']:.2f}x fewer)",
+        f"python-level calls  : {totals['interp_calls']} -> {totals['vm_calls']} "
+        f"({call_ratio:.2f}x fewer)",
+        f"grad jaxpr lowering : {gstats['n_eqns']} eqns -> "
+        f"{gstats['n_instructions']} instrs "
+        f"(folded={gstats['folded']}, aliased={gstats['aliased']}, "
+        f"fused={gstats['fused_away']}, donations={gstats['donations']})",
+        f"wall-clock          : interpret {t_interp * 1e3:.2f} ms, "
+        f"linear {t_linear * 1e3:.2f} ms ({t_interp / t_linear:.2f}x)",
+    ]
+    emit(results_dir, "linearize_dispatch", "\n".join(lines))
+
+
+def test_linear_backend_end_to_end_step_identical(results_dir):
+    """The full distributed step is bit-identical across backends on the
+    transformer (gallery-wide coverage lives in tier-1; this pins the
+    benchmark workload itself)."""
+    train_step, params, batch = _transformer_step()
+    outs = {}
+    for backend in ("linear", "interpret"):
+        mesh = core.RemoteMesh((CFG.n_stages,))
+        step = mesh.distributed(train_step, task_backend=backend)
+        outs[backend] = step(params, batch)
+    fa, _ = ir.tree_flatten(outs["linear"])
+    fb, _ = ir.tree_flatten(outs["interpret"])
+    for a, b in zip(fa, fb):
+        a, b = np.asarray(a), np.asarray(b)
+        assert a.dtype == b.dtype
+        np.testing.assert_array_equal(a, b)

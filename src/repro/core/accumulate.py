@@ -37,7 +37,7 @@ from repro.ir.avals import ShapedArray, abstractify
 from repro.ir.primitives import Primitive
 from repro.ir.pytree import tree_flatten, tree_unflatten
 from repro.ir.tracer import current_trace, trace_flat
-from repro.ir.interpreter import eval_jaxpr
+from repro.ir.linearize import linearize
 
 __all__ = ["accumulate_grads", "pipeline_loop_p", "ADD", "STACK", "reference_loop"]
 
@@ -67,9 +67,14 @@ def _loop_impl(*invals, body_jaxpr, n_mbs, n_batch_leaves, out_ops, schedule=Non
     captured = list(invals[n_batch_leaves:])
     acc: list[Any] = [None] * len(out_ops)
     stacked: list[list[Any]] = [[] for _ in out_ops]
+    # lower the body once through the linear task VM; the per-microbatch
+    # loop then dispatches slot-indexed instructions instead of re-walking
+    # the jaxpr (the program falls back to eval_jaxpr under an active
+    # trace, preserving inlining semantics)
+    body_prog = linearize(body_jaxpr)
     for i in range(n_mbs):
         mb = [np.asarray(x)[i] for x in batch_leaves]
-        outs = eval_jaxpr(body_jaxpr, mb + captured)
+        outs = body_prog(mb + captured)
         for j, (op, o) in enumerate(zip(out_ops, outs)):
             if op == ADD:
                 acc[j] = o if acc[j] is None else acc[j] + o

@@ -99,13 +99,18 @@ class RemoteMesh:
         schedule: Schedule | None = None,
         comm_strategy: str = "topo",
         cost_fn: Callable[..., float] | None = None,
+        task_backend: str = "linear",
     ) -> "StepFunction":
         """Wrap ``train_step`` for MPMD execution on this mesh.
 
         The schedule normally comes from the ``accumulate_grads`` call
         inside ``train_step``; passing one here overrides it.
+        ``task_backend`` picks the stage-task payload: ``"linear"``
+        (default; jaxprs compile once into slot-indexed
+        :class:`~repro.ir.linearize.LinearProgram` s) or ``"interpret"``
+        (the tree-walking reference, for differential testing).
         """
-        return StepFunction(self, train_step, schedule, comm_strategy, cost_fn)
+        return StepFunction(self, train_step, schedule, comm_strategy, cost_fn, task_backend)
 
 
 class StepFunction:
@@ -124,12 +129,14 @@ class StepFunction:
         schedule: Schedule | None,
         comm_strategy: str,
         cost_fn: Callable[..., float] | None,
+        task_backend: str = "linear",
     ):
         self.mesh = mesh
         self.train_step = train_step
         self.schedule = schedule
         self.comm_strategy = comm_strategy
         self.cost_fn = cost_fn
+        self.task_backend = task_backend
         self.compiled: CompiledStep | None = None
         self.last_result: ExecutionResult | None = None
         self._out_tree = None
@@ -168,6 +175,7 @@ class StepFunction:
             comm_strategy=self.comm_strategy,
             spmd_config=spmd_config,
             cost_fn=self.cost_fn,
+            task_backend=self.task_backend,
         )
         self._out_tree = out_tree
 

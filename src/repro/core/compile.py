@@ -21,6 +21,16 @@ This is the pipeline of §3-§4 end to end:
 
 The result is a :class:`CompiledStep` the driver executes with
 :class:`repro.runtime.executor.MpmdExecutor`.
+
+Task payloads are lowered once more through the linear task VM
+(:mod:`repro.ir.linearize`): each stage jaxpr compiles to a slot-indexed
+:class:`~repro.ir.linearize.LinearProgram` (pre-bound impls, elementwise
+fusion, liveness-driven frees and buffer donation), cached on jaxpr
+identity so the one-time lowering amortizes over every microbatch of every
+step — the paper's "pay trace/compile once, dispatch cheaply at steady
+state".  ``task_backend="interpret"`` keeps the tree-walking
+:func:`~repro.ir.interpreter.eval_jaxpr` as a differential-testing
+reference, mirroring the runtime's ``engine="roundrobin"``.
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ from repro.core.schedules import BWD, BWD_I, BWD_W, FWD, Schedule
 from repro.core.stage_split import BWD_KIND, FUSED_KIND, SplitResult, StageTask, split_stages
 from repro.ir.interpreter import eval_jaxpr
 from repro.ir.jaxpr import Atom, Eqn, Jaxpr, Literal, Var
+from repro.ir.linearize import linearize
 from repro.runtime.instructions import (
     Accumulate,
     AllReduce,
@@ -88,6 +99,9 @@ class CompiledStep:
         schedule_ir: the lowered :class:`~repro.core.schedule_ir.ScheduleIR`
             the programs were emitted from (drives runtime ready-queue
             seeding and introspection).
+        task_backend: how stage-task payloads execute — ``"linear"`` (the
+            slot-indexed :class:`~repro.ir.linearize.LinearProgram` VM) or
+            ``"interpret"`` (the tree-walking reference interpreter).
     """
 
     n_actors: int
@@ -100,6 +114,7 @@ class CompiledStep:
     dp_size: int
     n_commuted: int
     schedule_ir: ScheduleIR | None = None
+    task_backend: str = "linear"
 
     @property
     def instruction_counts(self) -> dict[str, int]:
@@ -112,12 +127,22 @@ class CompiledStep:
         return out
 
 
-def _make_task_fn(jaxpr: Jaxpr, spmd_config=None) -> Callable[[list], list]:
+TASK_BACKENDS = ("linear", "interpret")
+
+
+def _make_task_fn(jaxpr: Jaxpr, spmd_config=None, task_backend: str = "linear") -> Callable[[list], list]:
     """Executable payload for a stage task.
 
     With an inner SPMD mesh configured, the task is partitioned once here
     and executed lock-step across the actor's devices on every call; the
     boundary values stay global (sharding at entry, unsharding at exit).
+
+    Otherwise the payload is chosen by ``task_backend``: ``"linear"``
+    compiles the jaxpr once into a cached slot-indexed
+    :class:`~repro.ir.linearize.LinearProgram` (the steady-state fast
+    path); ``"interpret"`` re-walks the jaxpr through ``tracer.bind`` on
+    every call (the reference the linear VM is differential-tested
+    against).
     """
     if spmd_config is not None:
         from repro.spmd import Mesh, SpmdExecutor, partition
@@ -131,6 +156,11 @@ def _make_task_fn(jaxpr: Jaxpr, spmd_config=None) -> Callable[[list], list]:
                 return SpmdExecutor(mesh).run(prog, vals)
 
             return run_spmd
+
+    if task_backend == "linear":
+        # one lowering per distinct jaxpr; tasks are shared across
+        # microbatches, so the cache amortizes over the whole schedule
+        return linearize(jaxpr)
 
     def run(vals: list) -> list:
         return eval_jaxpr(jaxpr, vals)
@@ -163,6 +193,7 @@ def compile_train_step(
     comm_strategy: str = "topo",
     spmd_config=None,
     cost_fn: Callable[[StageTask], float] | None = None,
+    task_backend: str = "linear",
 ) -> CompiledStep:
     """Lower a traced training step into per-actor instruction programs.
 
@@ -178,9 +209,17 @@ def compile_train_step(
         spmd_config: optional ``(mesh_axes, rules)`` giving each actor an
             inner SPMD mesh for its tasks.
         cost_fn: optional per-task virtual cost (simulation mode).
+        task_backend: stage-task execution backend — ``"linear"``
+            (default; slot-indexed :class:`~repro.ir.linearize.LinearProgram`
+            compiled once per task) or ``"interpret"`` (tree-walking
+            reference interpreter).
     """
     if comm_strategy not in ("topo", "naive"):
         raise ValueError(f"unknown comm_strategy {comm_strategy!r}")
+    if task_backend not in TASK_BACKENDS:
+        raise ValueError(
+            f"unknown task_backend {task_backend!r}; expected one of {TASK_BACKENDS}"
+        )
 
     loop_positions = [i for i, e in enumerate(jaxpr.eqns) if e.prim is pipeline_loop_p]
     if len(loop_positions) != 1:
@@ -300,7 +339,13 @@ def compile_train_step(
                     value = np.asarray(atom.value) * n_mbs
                     aval = atom.aval
                 else:
-                    value = np.stack([np.asarray(atom.value)] * n_mbs)
+                    # one read-only broadcast view shared by every
+                    # microbatch ref — never n_mbs materialized copies.
+                    # Callers see this constant output as a non-writable
+                    # zero-strided view; copy before mutating.
+                    value = np.broadcast_to(
+                        np.asarray(atom.value), (n_mbs,) + atom.aval.shape
+                    )
                     aval = atom.aval.update(shape=(n_mbs,) + atom.aval.shape)
                 uid = f"loopconst.{k}"
                 const_loop_outputs.append((0, uid, Literal(value, aval)))
@@ -444,7 +489,7 @@ def compile_train_step(
     # program emission
     # ------------------------------------------------------------------
     programs: list[list[Instruction]] = [[] for _ in range(n_actors)]
-    task_fns = [_make_task_fn(t.jaxpr, spmd_config) for t in tasks]
+    task_fns = [_make_task_fn(t.jaxpr, spmd_config, task_backend) for t in tasks]
     task_costs = [cost_fn(t) if cost_fn else 0.0 for t in tasks]
 
     # lower the schedule once: the IR's global topological order is §4.2's
@@ -800,6 +845,7 @@ def compile_train_step(
         dp_size=dp_size,
         n_commuted=commute.n_commuted,
         schedule_ir=sched_ir,
+        task_backend=task_backend,
     )
     literal_placements.extend(const_loop_outputs)
     compiled.literal_placements = literal_placements  # type: ignore[attr-defined]

@@ -106,10 +106,19 @@ class Schedule:
     def lower(self, n_mbs: int) -> "ScheduleIR":
         """Lower this schedule into its dependency-explicit
         :class:`~repro.core.schedule_ir.ScheduleIR` — the single table the
-        compiler, runtime, simulator, and visualiser all consume."""
-        from repro.core.schedule_ir import lower_schedule
+        compiler, runtime, simulator, and visualiser all consume.
 
-        return lower_schedule(self, n_mbs)
+        Memoized per ``n_mbs`` on the schedule instance: the compiler,
+        simulator, visualiser, and validators all ask for the identical IR,
+        and a ``ScheduleIR`` is immutable once built, so one lowering is
+        shared by every consumer."""
+        cache: dict[int, "ScheduleIR"] = self.__dict__.setdefault("_lower_cache", {})
+        ir = cache.get(n_mbs)
+        if ir is None:
+            from repro.core.schedule_ir import lower_schedule
+
+            ir = cache[n_mbs] = lower_schedule(self, n_mbs)
+        return ir
 
     def activation_bound(self, rank: int, n_mbs: int) -> int | None:
         """Declared per-rank bound on concurrently live activations, or

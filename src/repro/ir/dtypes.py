@@ -23,6 +23,7 @@ __all__ = [
     "int32",
     "int64",
     "bool_",
+    "NP_CANONICAL",
     "canonicalize_dtype",
     "promote_types",
     "is_float",
@@ -72,6 +73,13 @@ _BY_NP: dict[np.dtype, DType] = {
     np.dtype(np.uint64): int32,
     np.dtype(np.bool_): bool_,
 }
+
+
+#: NumPy-level view of the canonicalization table: the storage dtype each
+#: NumPy dtype canonicalizes to (float64 -> float32, int64 -> int32, ...).
+#: Hot paths (the linear task VM) use this to normalize operands with one
+#: dict lookup instead of a full ``abstractify`` round-trip.
+NP_CANONICAL: dict[np.dtype, np.dtype] = {k: v.np_dtype for k, v in _BY_NP.items()}
 
 
 def canonicalize_dtype(dtype: object) -> DType:

@@ -1,10 +1,18 @@
-"""Jaxpr evaluation.
+"""Jaxpr evaluation (the tree-walking reference interpreter).
 
 :func:`eval_jaxpr` applies each equation through :func:`repro.ir.tracer.bind`
 rather than calling impls directly; under an active trace this *inlines* the
 jaxpr into the current trace (the mechanism autodiff and ``accumulate_grads``
 use to splice sub-programs into an outer program), and otherwise it
 evaluates concretely with NumPy.
+
+This is the *reference* backend: it re-resolves atoms through an
+``id()``-keyed env dict and re-runs ``abstract_eval`` on every call.  The
+steady-state hot path uses :mod:`repro.ir.linearize`, which lowers a jaxpr
+once into a slot-indexed :class:`~repro.ir.linearize.LinearProgram` and is
+differential-tested against this interpreter (pick with
+``task_backend="linear" | "interpret"``).  Inlining under a trace and
+tape recording for autodiff always go through this module.
 """
 
 from __future__ import annotations

@@ -90,7 +90,9 @@ class Jaxpr:
         outvars: outputs; may be ``Var`` or ``Literal`` (constant outputs).
     """
 
-    __slots__ = ("invars", "eqns", "outvars")
+    # __weakref__ lets the linear-VM cache (repro.ir.linearize) key compiled
+    # LinearPrograms on jaxpr identity without pinning jaxprs alive.
+    __slots__ = ("invars", "eqns", "outvars", "__weakref__")
 
     def __init__(self, invars: list[Var], eqns: list[Eqn], outvars: list[Atom]):
         self.invars = invars

@@ -128,8 +128,15 @@ def zeros_like_aval(aval: ShapedArray) -> np.ndarray:
 # elementwise binary ops
 # ---------------------------------------------------------------------------
 
-def _binop(name: str, np_fn, vjp_fn=None, *, bool_out: bool = False) -> Primitive:
+def _binop(name: str, np_fn, vjp_fn=None, *, bool_out: bool = False, inplace_fn=None) -> Primitive:
     p = Primitive(name)
+    # Fusion/donation hooks for the linear task VM (repro.ir.linearize):
+    # every binop is a per-element map over fresh output storage; ops whose
+    # impl is exactly a NumPy ufunc also advertise the ufunc for ``out=``
+    # buffer donation.
+    p.elementwise = True
+    p.returns_fresh = True
+    p.inplace_fn = inplace_fn
 
     @p.def_impl
     def _impl(x, y):
@@ -158,9 +165,9 @@ def _binop(name: str, np_fn, vjp_fn=None, *, bool_out: bool = False) -> Primitiv
     return p
 
 
-add_p = _binop("add", np.add, lambda g, x, y, o: (g, g))
-sub_p = _binop("sub", np.subtract, lambda g, x, y, o: (g, neg(g)))
-mul_p = _binop("mul", np.multiply, lambda g, x, y, o: (mul(g, y), mul(g, x)))
+add_p = _binop("add", np.add, lambda g, x, y, o: (g, g), inplace_fn=np.add)
+sub_p = _binop("sub", np.subtract, lambda g, x, y, o: (g, neg(g)), inplace_fn=np.subtract)
+mul_p = _binop("mul", np.multiply, lambda g, x, y, o: (mul(g, y), mul(g, x)), inplace_fn=np.multiply)
 div_p = _binop(
     "div",
     lambda x, y: np.divide(x, y, dtype=np.result_type(x, y) if np.result_type(x, y).kind == "f" else np.float32),
@@ -172,6 +179,7 @@ maximum_p = _binop(
         mul(g, convert(greater_equal(x, y), dtype_of(g))),
         mul(g, convert(less(x, y), dtype_of(g))),
     ),
+    inplace_fn=np.maximum,
 )
 minimum_p = _binop(
     "minimum", np.minimum,
@@ -179,6 +187,7 @@ minimum_p = _binop(
         mul(g, convert(less_equal(x, y), dtype_of(g))),
         mul(g, convert(greater(x, y), dtype_of(g))),
     ),
+    inplace_fn=np.minimum,
 )
 # Exponent is treated as a constant (sufficient for x**2 etc.; general
 # d/dy x**y needs log(x) which is undefined for x <= 0).
@@ -261,8 +270,11 @@ def not_equal(x: ArrayLike, y: ArrayLike) -> ArrayLike:
 # elementwise unary ops
 # ---------------------------------------------------------------------------
 
-def _unop(name: str, np_fn, vjp_fn=None, *, out_dtype: DType | None = None) -> Primitive:
+def _unop(name: str, np_fn, vjp_fn=None, *, out_dtype: DType | None = None, inplace_fn=None) -> Primitive:
     p = Primitive(name)
+    p.elementwise = True
+    p.returns_fresh = True
+    p.inplace_fn = inplace_fn
 
     @p.def_impl
     def _impl(x):
@@ -280,19 +292,20 @@ def _unop(name: str, np_fn, vjp_fn=None, *, out_dtype: DType | None = None) -> P
     return p
 
 
-neg_p = _unop("neg", np.negative, lambda g, x, o: neg(g))
-exp_p = _unop("exp", np.exp, lambda g, x, o: mul(g, o))
-log_p = _unop("log", np.log, lambda g, x, o: div(g, x))
-tanh_p = _unop("tanh", np.tanh, lambda g, x, o: mul(g, sub(1.0, mul(o, o))))
-sqrt_p = _unop("sqrt", np.sqrt, lambda g, x, o: div(g, mul(2.0, o)))
+neg_p = _unop("neg", np.negative, lambda g, x, o: neg(g), inplace_fn=np.negative)
+exp_p = _unop("exp", np.exp, lambda g, x, o: mul(g, o), inplace_fn=np.exp)
+log_p = _unop("log", np.log, lambda g, x, o: div(g, x), inplace_fn=np.log)
+tanh_p = _unop("tanh", np.tanh, lambda g, x, o: mul(g, sub(1.0, mul(o, o))), inplace_fn=np.tanh)
+sqrt_p = _unop("sqrt", np.sqrt, lambda g, x, o: div(g, mul(2.0, o)), inplace_fn=np.sqrt)
 erf_p = _unop(
     "erf", _sp_special.erf,
     lambda g, x, o: mul(g, mul(2.0 / math.sqrt(math.pi), exp(neg(mul(x, x))))),
+    inplace_fn=_sp_special.erf,
 )
-sin_p = _unop("sin", np.sin, lambda g, x, o: mul(g, cos(x)))
-cos_p = _unop("cos", np.cos, lambda g, x, o: neg(mul(g, sin(x))))
-abs_p = _unop("abs", np.abs, lambda g, x, o: mul(g, sign(x)))
-sign_p = _unop("sign", np.sign)
+sin_p = _unop("sin", np.sin, lambda g, x, o: mul(g, cos(x)), inplace_fn=np.sin)
+cos_p = _unop("cos", np.cos, lambda g, x, o: neg(mul(g, sin(x))), inplace_fn=np.cos)
+abs_p = _unop("abs", np.abs, lambda g, x, o: mul(g, sign(x)), inplace_fn=np.absolute)
+sign_p = _unop("sign", np.sign, inplace_fn=np.sign)
 logical_not_p = _unop("logical_not", np.logical_not, out_dtype=dtypes.bool_)
 
 
@@ -361,6 +374,8 @@ def logical_not(x: ArrayLike) -> ArrayLike:
 # ---------------------------------------------------------------------------
 
 where_p = Primitive("where")
+where_p.elementwise = True
+where_p.returns_fresh = True
 
 
 @where_p.def_impl
@@ -388,7 +403,12 @@ def where(cond: ArrayLike, x: ArrayLike, y: ArrayLike) -> ArrayLike:
     return where_p.bind(cond, x, y)
 
 
+# convert is elementwise but NOT returns_fresh: when the storage dtypes
+# coincide (e.g. bf16 <-> f32, both stored as float32) its impl returns the
+# input array unchanged, so its output may alias an input.  The linear VM
+# additionally elides such same-storage converts by slot aliasing.
 convert_p = Primitive("convert")
+convert_p.elementwise = True
 
 
 @convert_p.def_impl
@@ -421,6 +441,7 @@ def astype(x: ArrayLike, dtype: DType) -> ArrayLike:
 
 
 stop_gradient_p = Primitive("stop_gradient")
+stop_gradient_p.identity_alias = True
 
 
 @stop_gradient_p.def_impl
@@ -448,6 +469,7 @@ def stop_gradient(x: ArrayLike) -> ArrayLike:
 # ---------------------------------------------------------------------------
 
 matmul_p = Primitive("matmul")
+matmul_p.returns_fresh = True
 
 
 @matmul_p.def_impl
@@ -593,6 +615,7 @@ def squeeze(x: ArrayLike, axis: int) -> ArrayLike:
 
 
 concatenate_p = Primitive("concatenate")
+concatenate_p.returns_fresh = True
 
 
 @concatenate_p.def_impl
@@ -668,6 +691,7 @@ def slice_(x: ArrayLike, starts: Sequence[int], limits: Sequence[int]) -> ArrayL
 
 
 unslice_p = Primitive("unslice")
+unslice_p.returns_fresh = True
 
 
 @unslice_p.def_impl
@@ -702,6 +726,7 @@ def unslice(g: ArrayLike, shape: Sequence[int], starts: Sequence[int]) -> ArrayL
 # ---------------------------------------------------------------------------
 
 take_p = Primitive("take")
+take_p.returns_fresh = True
 
 
 @take_p.def_impl
@@ -728,6 +753,7 @@ def take(x: ArrayLike, indices: ArrayLike) -> ArrayLike:
 
 
 scatter_add_p = Primitive("scatter_add")
+scatter_add_p.returns_fresh = True
 
 
 @scatter_add_p.def_impl
@@ -755,6 +781,7 @@ def scatter_add(indices: ArrayLike, updates: ArrayLike, shape: Sequence[int]) ->
 
 
 iota_p = Primitive("iota")
+iota_p.returns_fresh = True
 
 
 @iota_p.def_impl
@@ -777,6 +804,7 @@ def iota(size: int, dtype: DType = dtypes.int32) -> ArrayLike:
 # ---------------------------------------------------------------------------
 
 reduce_sum_p = Primitive("reduce_sum")
+reduce_sum_p.returns_fresh = True
 
 
 @reduce_sum_p.def_impl
@@ -806,6 +834,7 @@ def reduce_sum(x: ArrayLike, axes: int | Sequence[int] | None = None, keepdims: 
 
 
 reduce_max_p = Primitive("reduce_max")
+reduce_max_p.returns_fresh = True
 
 
 @reduce_max_p.def_impl

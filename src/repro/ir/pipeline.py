@@ -25,6 +25,9 @@ FWD = "fwd"
 BWD = "bwd"
 
 pipeline_yield_p = Primitive("pipeline_yield")
+# Semantically the identity: the linear task VM (repro.ir.linearize) elides
+# the marker by slot aliasing instead of dispatching a call per microbatch.
+pipeline_yield_p.identity_alias = True
 
 
 @pipeline_yield_p.def_impl

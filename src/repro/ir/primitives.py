@@ -29,6 +29,19 @@ class Primitive:
     Attributes:
         name: unique op name (also the key in :data:`registry`).
         multiple_results: if True, ``bind`` returns a list of values.
+        elementwise: set by :mod:`repro.ir.ops` on ops whose impl is a pure
+            per-element map; the linear task VM
+            (:mod:`repro.ir.linearize`) fuses single-consumer chains of
+            these into one composite callable.
+        returns_fresh: impl always allocates a new array (never returns a
+            view of an input). Only values produced by fresh ops are
+            eligible as in-place donation targets in the linear VM.
+        inplace_fn: optional NumPy ufunc equivalent of the impl that
+            accepts ``out=``; enables buffer donation when the operand
+            dies at this equation.
+        identity_alias: impl is the identity on its (single) input value
+            (``pipeline_yield``, ``stop_gradient``); the linear VM elides
+            the equation entirely by aliasing slots.
     """
 
     def __init__(self, name: str, multiple_results: bool = False):
@@ -39,6 +52,10 @@ class Primitive:
         self._impl: Callable[..., Any] | None = None
         self._abstract: Callable[..., Any] | None = None
         self._vjp: Callable[..., Sequence[Any]] | None = None
+        self.elementwise = False
+        self.returns_fresh = False
+        self.inplace_fn: Callable[..., Any] | None = None
+        self.identity_alias = False
         registry[name] = self
 
     # -- rule registration (decorator style) --------------------------------
