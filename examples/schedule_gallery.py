@@ -1,5 +1,5 @@
 """Figure 2, live: compare GPipe / 1F1B / Interleaved 1F1B / Eager 1F1B /
-zero-bubble ZB-H1 & ZB-H2 / looped-BFS / interleaved-ZB.
+zero-bubble ZB-H1, ZB-H2 & ZB-V / looped-BFS / interleaved-ZB.
 
 Every schedule here is just a ``units()`` method: ``Schedule.lower``
 turns it into the dependency-explicit ScheduleIR that the compiler,
@@ -61,6 +61,7 @@ def main() -> None:
         (core.ZBH2(4), 4),
         (core.LoopedBFS(2, 2), 4),
         (core.InterleavedZB(2, 2), 4),
+        (core.ZBV(2), 4),
     ]:
         print("=" * 72)
         print(f"{schedule.name}  ({n_stages} stages on {schedule.n_actors} actors, "

@@ -6,12 +6,17 @@ Regenerates the paper's evaluation artefacts without pytest::
     python -m repro fig6 fig8
     python -m repro all
 
+and the generated documentation::
+
+    python -m repro docs-schedules   # rewrites docs/SCHEDULES.md in place
+
 (The benchmark suite under ``benchmarks/`` runs the same computations with
 acceptance assertions; this CLI is the quick interactive path.)
 """
 
 from __future__ import annotations
 
+import pathlib
 import sys
 
 from repro.perf import GPT3_175B, LLAMA2_70B, jax_fsdp, jax_spmd_pp, jaxpp, nemo
@@ -93,9 +98,21 @@ def fig10() -> None:
     print(f"{'total step':<22} {spmd.step_time:>8.2f} {jx.step_time:>8.2f}")
 
 
+def docs_schedules() -> None:
+    """Regenerate ``docs/SCHEDULES.md`` from the live schedule gallery
+    (diagrams and stats come from the real implementation, so the page
+    cannot drift from the code — CI fails when it is stale)."""
+    from repro.docsgen import write_schedules_md
+
+    target = pathlib.Path(__file__).resolve().parents[2] / "docs" / "SCHEDULES.md"
+    changed = write_schedules_md(target)
+    print(f"{'regenerated' if changed else 'up to date'}: {target}")
+
+
 ARTEFACTS = {
     "table1": table1, "fig6": fig6, "fig7": fig7,
     "fig8": fig8, "fig9": fig9, "fig10": fig10,
+    "docs-schedules": docs_schedules,
 }
 
 

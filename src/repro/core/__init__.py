@@ -21,10 +21,12 @@ from repro.core.accumulate import ADD, STACK, accumulate_grads, pipeline_loop_p,
 from repro.core.api import RemoteMesh, StepFunction
 from repro.core.compile import CompiledStep, compile_train_step
 from repro.core.loop_commute import CombineSpec, CommuteResult, commute_shared_gradients
+from repro.core.autotune import CostModel, TuneEntry, TuneReport, default_candidates, tune
 from repro.core.schedule_ir import ScheduleIR, Slot, iter_unit_deps, lower_schedule
 from repro.core.schedules import (
     GPipe,
     Eager1F1B,
+    Hybrid1F1B,
     Interleaved1F1B,
     InterleavedZB,
     LoopedBFS,
@@ -33,6 +35,7 @@ from repro.core.schedules import (
     Unit,
     ZBH1,
     ZBH2,
+    ZBV,
     schedule_stats,
     validate_schedule,
 )
@@ -43,8 +46,9 @@ __all__ = [
     "RemoteMesh", "StepFunction",
     "compile_train_step", "CompiledStep",
     "commute_shared_gradients", "CommuteResult", "CombineSpec",
-    "Schedule", "GPipe", "OneFOneB", "Eager1F1B", "Interleaved1F1B", "ZBH1",
-    "ZBH2", "LoopedBFS", "InterleavedZB",
+    "Schedule", "GPipe", "OneFOneB", "Eager1F1B", "Hybrid1F1B",
+    "Interleaved1F1B", "ZBH1", "ZBH2", "ZBV", "LoopedBFS", "InterleavedZB",
+    "CostModel", "TuneEntry", "TuneReport", "tune", "default_candidates",
     "ScheduleIR", "Slot", "lower_schedule",
     "Unit", "validate_schedule", "schedule_stats", "iter_unit_deps",
     "split_stages", "SplitResult", "StageTask",

@@ -96,21 +96,37 @@ class RemoteMesh:
     def distributed(
         self,
         train_step: Callable[..., Any],
-        schedule: Schedule | None = None,
+        schedule: Schedule | str | None = None,
         comm_strategy: str = "topo",
         cost_fn: Callable[..., float] | None = None,
         task_backend: str = "linear",
+        memory_budget: float | None = None,
     ) -> "StepFunction":
         """Wrap ``train_step`` for MPMD execution on this mesh.
 
         The schedule normally comes from the ``accumulate_grads`` call
-        inside ``train_step``; passing one here overrides it.
+        inside ``train_step``; passing one here overrides it.  Passing
+        ``schedule="auto"`` runs the cost-aware autotuner at first-call
+        compile time: per-stage costs are estimated from the traced stage
+        jaxprs (or ``cost_fn``), every gallery schedule compatible with
+        this mesh's pipeline width is priced, candidates over the
+        per-rank ``memory_budget`` (activation bytes) are excluded, and
+        the winner is compiled — the ranked
+        :class:`~repro.core.autotune.TuneReport` is available afterwards
+        as ``step_fn.compiled.tune_report``.
         ``task_backend`` picks the stage-task payload: ``"linear"``
         (default; jaxprs compile once into slot-indexed
         :class:`~repro.ir.linearize.LinearProgram` s) or ``"interpret"``
         (the tree-walking reference, for differential testing).
         """
-        return StepFunction(self, train_step, schedule, comm_strategy, cost_fn, task_backend)
+        if isinstance(schedule, str) and schedule != "auto":
+            raise ValueError(
+                f"unknown schedule {schedule!r}; pass a Schedule or 'auto'"
+            )
+        return StepFunction(
+            self, train_step, schedule, comm_strategy, cost_fn, task_backend,
+            memory_budget,
+        )
 
 
 class StepFunction:
@@ -126,10 +142,11 @@ class StepFunction:
         self,
         mesh: RemoteMesh,
         train_step: Callable[..., Any],
-        schedule: Schedule | None,
+        schedule: Schedule | str | None,
         comm_strategy: str,
         cost_fn: Callable[..., float] | None,
         task_backend: str = "linear",
+        memory_budget: float | None = None,
     ):
         self.mesh = mesh
         self.train_step = train_step
@@ -137,6 +154,7 @@ class StepFunction:
         self.comm_strategy = comm_strategy
         self.cost_fn = cost_fn
         self.task_backend = task_backend
+        self.memory_budget = memory_budget
         self.compiled: CompiledStep | None = None
         self.last_result: ExecutionResult | None = None
         self._out_tree = None
@@ -176,6 +194,8 @@ class StepFunction:
             spmd_config=spmd_config,
             cost_fn=self.cost_fn,
             task_backend=self.task_backend,
+            n_actors=self.mesh.n_pipeline_actors,
+            memory_budget=self.memory_budget,
         )
         self._out_tree = out_tree
 

@@ -93,9 +93,13 @@ class CompiledStep:
         output_sources: per flat output, one of ``("literal", value)``,
             ``("input", flat_idx)``, or ``("buffer", actor, uid)``.
         split: the stage-split result (for introspection and tests).
-        schedule: the schedule that was compiled against.
+        schedule: the schedule that was compiled against (with
+            ``schedule="auto"``, the autotuner's winner).
         dp_size: data-parallel replication factor.
         n_commuted: shared-weight gradients rewritten by loop commuting.
+        tune_report: the ranked :class:`~repro.core.autotune.TuneReport`
+            when the schedule was chosen by ``schedule="auto"``, else
+            ``None``.
         schedule_ir: the lowered :class:`~repro.core.schedule_ir.ScheduleIR`
             the programs were emitted from (drives runtime ready-queue
             seeding and introspection).
@@ -115,6 +119,7 @@ class CompiledStep:
     n_commuted: int
     schedule_ir: ScheduleIR | None = None
     task_backend: str = "linear"
+    tune_report: Any = None
 
     @property
     def instruction_counts(self) -> dict[str, int]:
@@ -187,13 +192,15 @@ def _make_eqn_fn(eqn: Eqn) -> Callable[[list], list]:
 
 def compile_train_step(
     jaxpr: Jaxpr,
-    schedule: Schedule | None = None,
+    schedule: Schedule | str | None = None,
     *,
     dp_size: int = 1,
     comm_strategy: str = "topo",
     spmd_config=None,
     cost_fn: Callable[[StageTask], float] | None = None,
     task_backend: str = "linear",
+    n_actors: int | None = None,
+    memory_budget: float | None = None,
 ) -> CompiledStep:
     """Lower a traced training step into per-actor instruction programs.
 
@@ -201,6 +208,12 @@ def compile_train_step(
         jaxpr: the traced ``train_step`` containing exactly one
             ``pipeline_loop`` equation.
         schedule: overrides the schedule stored in the loop equation.
+            The string ``"auto"`` runs the cost-aware autotuner
+            (:mod:`repro.core.autotune`): per-stage costs are estimated
+            from the traced stage jaxprs (or ``cost_fn`` when given), the
+            compatible gallery schedules are priced, and the winner is
+            compiled; its :class:`~repro.core.autotune.TuneReport` lands
+            on ``CompiledStep.tune_report``.
         dp_size: data-parallel pipeline replicas (gradients are all-reduced
             and averaged across replicas after the loop).
         comm_strategy: ``"topo"`` (§4.2's deadlock-free ordering) or
@@ -213,6 +226,11 @@ def compile_train_step(
             (default; slot-indexed :class:`~repro.ir.linearize.LinearProgram`
             compiled once per task) or ``"interpret"`` (tree-walking
             reference interpreter).
+        n_actors: pipeline rank count for ``schedule="auto"`` (the driver
+            mesh's width; defaults to one rank per model stage).
+        memory_budget: per-rank live-activation-byte budget for
+            ``schedule="auto"`` — candidates whose peak exceeds it are
+            excluded from the search.
     """
     if comm_strategy not in ("topo", "naive"):
         raise ValueError(f"unknown comm_strategy {comm_strategy!r}")
@@ -238,6 +256,20 @@ def compile_train_step(
         raise ValueError("no schedule: pass one to accumulate_grads or compile_train_step")
 
     split = split_stages(body)
+    tune_report = None
+    if isinstance(schedule, str):
+        if schedule != "auto":
+            raise ValueError(
+                f"unknown schedule {schedule!r}; pass a Schedule or 'auto'"
+            )
+        from repro.core import autotune
+
+        P_auto = split.n_stages if n_actors is None else n_actors
+        cost_model = autotune.CostModel.from_tasks(split, cost_fn)
+        tune_report = autotune.tune(
+            cost_model, P_auto, n_mbs, memory_budget=memory_budget
+        )
+        schedule = tune_report.best.schedule
     if split.n_stages != schedule.n_stages:
         raise ValueError(
             f"model has {split.n_stages} pipeline stages (yields + 1) but the "
@@ -846,6 +878,7 @@ def compile_train_step(
         n_commuted=commute.n_commuted,
         schedule_ir=sched_ir,
         task_backend=task_backend,
+        tune_report=tune_report,
     )
     literal_placements.extend(const_loop_outputs)
     compiled.literal_placements = literal_placements  # type: ignore[attr-defined]

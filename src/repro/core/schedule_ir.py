@@ -50,6 +50,20 @@ is exactly the transfer the compiler emits and the simulator prices.
 Dependency *structure* (which units feed which) is fixed by unit kinds —
 :func:`iter_unit_deps` is the single encoding of it, and this module is
 its only home; everything downstream sees resolved slot-to-slot edges.
+
+Costing
+=======
+
+:meth:`ScheduleIR.stats` executes the IR analytically.  By default every
+stage costs the same (``fwd_time``/``bwd_time``, the closed-form bubble
+assumption); passing a cost model — ``unit_time(stage, kind,
+bwd_input_fraction) -> seconds`` plus ``activation_bytes(stage)``,
+canonically :class:`repro.core.autotune.CostModel` — prices
+heterogeneous stages (uneven layers, embedding/head stages,
+circular-repeat chunks) and reports peak live-activation *bytes* per
+rank alongside the counts, which is what the autotuner's memory budget
+is checked against.  Event-engine pricing of the same IR (with
+communication) lives in :func:`repro.perf.pipeline_sim.price_schedule`.
 """
 
 from __future__ import annotations
@@ -362,32 +376,69 @@ class ScheduleIR:
         return ready + blocked
 
     # -- analytic costing ----------------------------------------------------
-    def stats(self, fwd_time: float = 1.0, bwd_time: float = 2.0) -> dict:
-        """Analytic execution of the IR under uniform stage costs.
+    def stats(
+        self,
+        fwd_time: float = 1.0,
+        bwd_time: float = 2.0,
+        cost_model=None,
+    ) -> dict:
+        """Analytic execution of the IR under uniform or heterogeneous
+        per-stage costs.
 
-        Returns makespan, per-rank busy/idle (bubble) time, and peak count
-        of live activations per rank — the quantities behind §2.2.1's
-        memory and §5.1's throughput discussions.
+        Returns makespan, per-rank busy/idle (bubble) time, peak count of
+        live activations per rank, and peak live activation *bytes* per
+        rank — the quantities behind §2.2.1's memory and §5.1's
+        throughput discussions.
+
+        Args:
+            fwd_time / bwd_time: uniform per-unit costs (the default —
+                every stage costs the same, the assumption the closed-form
+                bubble formulas make).
+            cost_model: optional heterogeneous cost table — any object
+                with ``unit_time(stage, kind, bwd_input_fraction) ->
+                seconds`` and an ``activation_bytes(stage) -> bytes``
+                method (:class:`repro.core.autotune.CostModel` is the
+                canonical implementation).  When given it overrides
+                ``fwd_time``/``bwd_time``, pricing uneven layers,
+                embedding/head stages, and circular-repeat chunks
+                individually.
 
         For split-backward schedules the full backward cost is divided
         between the input-gradient and weight-gradient units according to
         the schedule's ``bwd_input_fraction``; an activation is held from
         its forward until its weight-gradient unit retires it (encoded in
-        the slots' acquire/release annotations).
+        the slots' acquire/release annotations), and its byte weight is
+        the producing stage's ``activation_bytes``.
         """
         frac = self.schedule.bwd_input_fraction
 
-        def unit_time(u: Unit) -> float:
-            if u.kind == FWD:
-                return fwd_time
-            if u.kind == BWD:
-                return bwd_time
-            return bwd_time * (frac if u.kind == BWD_I else 1.0 - frac)
+        if cost_model is not None:
+            def unit_time(u: Unit) -> float:
+                return cost_model.unit_time(u.stage, u.kind, frac)
+
+            def act_bytes(stage: int) -> float:
+                return cost_model.activation_bytes(stage)
+        else:
+            def unit_time(u: Unit) -> float:
+                if u.kind == FWD:
+                    return fwd_time
+                if u.kind == BWD:
+                    return bwd_time
+                return bwd_time * (frac if u.kind == BWD_I else 1.0 - frac)
+
+            def act_bytes(stage: int) -> float:
+                return 1.0
 
         finish: dict[tuple[int, int, str], float] = {}
         rank_time = [0.0] * self.n_ranks
         live = [0] * self.n_ranks
         peak_live = [0] * self.n_ranks
+        live_bytes = [0.0] * self.n_ranks
+        peak_bytes = [0.0] * self.n_ranks
+        # a release retires the rank's *oldest* live acquisition's bytes —
+        # FIFO per (rank, stage) is not tracked; instead charge/credit the
+        # released slot's own stage, which matches because forward and its
+        # retiring backward share a stage by construction
         for slot in self.toposort():
             start = max(
                 [rank_time[slot.rank]] + [finish[d.key] for d in self.deps(slot)]
@@ -395,8 +446,11 @@ class ScheduleIR:
             end = start + unit_time(slot.unit)
             finish[slot.key] = end
             rank_time[slot.rank] = end
-            live[slot.rank] += slot.acquires - slot.releases
+            delta = slot.acquires - slot.releases
+            live[slot.rank] += delta
             peak_live[slot.rank] = max(peak_live[slot.rank], live[slot.rank])
+            live_bytes[slot.rank] += delta * act_bytes(slot.unit.stage)
+            peak_bytes[slot.rank] = max(peak_bytes[slot.rank], live_bytes[slot.rank])
         makespan = max(rank_time)
         busy = [sum(unit_time(s.unit) for s in row) for row in self.slots]
         return {
@@ -404,6 +458,7 @@ class ScheduleIR:
             "busy": busy,
             "bubble_fraction": 1.0 - sum(busy) / (makespan * self.n_ranks),
             "peak_live_activations": peak_live,
+            "peak_activation_bytes": peak_bytes,
         }
 
     def __repr__(self) -> str:

@@ -1,5 +1,6 @@
-"""Pipeline schedules: GPipe, 1F1B, Interleaved 1F1B, Eager 1F1B,
-zero-bubble ZB-H1/ZB-H2, looped-BFS, and interleaved-ZB (§2.2.1, §4.2).
+"""Pipeline schedules: GPipe, 1F1B, Interleaved 1F1B, Eager 1F1B (and
+its tunable generalisation Hybrid1F1B), zero-bubble ZB-H1/ZB-H2/ZB-V,
+looped-BFS, and interleaved-ZB (§2.2.1, §4.2).
 
 A schedule answers two questions:
 
@@ -38,7 +39,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import deque
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.schedule_ir import ScheduleIR
@@ -49,9 +50,11 @@ __all__ = [
     "GPipe",
     "OneFOneB",
     "Eager1F1B",
+    "Hybrid1F1B",
     "Interleaved1F1B",
     "ZBH1",
     "ZBH2",
+    "ZBV",
     "LoopedBFS",
     "InterleavedZB",
     "validate_schedule",
@@ -306,6 +309,66 @@ class Eager1F1B(Schedule):
         return out
 
 
+class Hybrid1F1B(Schedule):
+    """1F1B with an explicit per-rank warmup vector — the knob between
+    :class:`OneFOneB` (``warmup[r] = p - 1 - r``) and :class:`Eager1F1B`
+    (``warmup[r] = 2(p - 1 - r)``), exposed so the autotuner can shift
+    warmup toward the rank the wait profile shows parked longest.
+
+    ``warmup[r]`` forwards run before rank ``r`` enters the
+    one-forward-one-backward steady state.  The vector must be rank-wise
+    non-increasing (``warmup[r] >= warmup[r + 1]``): rank ``r`` posts
+    ``warmup[r] + 1`` forwards before blocking on its first backward, and
+    rank ``r + 1`` needs ``warmup[r + 1] + 1`` of them before *its* first
+    backward can complete the chain — a downstream rank that warms up
+    more than its upstream deadlocks, and ``validate_schedule`` rejects
+    it.  Peak live activations on rank ``r`` are
+    ``min(warmup[r] + 1, n_mbs)``, so warmup buys send-ahead overlap at a
+    linear activation-memory price.
+    """
+
+    def __init__(self, n_stages: int, warmup: Sequence[int], n_actors: int | None = None):
+        if n_actors is None:
+            n_actors = n_stages
+        if n_stages != n_actors:
+            raise ValueError("Hybrid1F1B places one stage per actor")
+        warmup = tuple(int(w) for w in warmup)
+        if len(warmup) != n_actors:
+            raise ValueError(
+                f"warmup vector has {len(warmup)} entries for {n_actors} ranks"
+            )
+        if any(w < 0 for w in warmup):
+            raise ValueError("warmup counts must be non-negative")
+        self.n_stages = n_stages
+        self.n_actors = n_actors
+        self.warmup = warmup
+
+    def actor_of_stage(self, stage: int) -> int:
+        return stage
+
+    def activation_bound(self, rank: int, n_mbs: int) -> int | None:
+        return min(self.warmup[rank] + 1, n_mbs)
+
+    def units(self, n_mbs: int) -> list[list[Unit]]:
+        out = []
+        for rank in range(self.n_actors):
+            w = min(self.warmup[rank], n_mbs)
+            seq = [Unit(i, rank, FWD) for i in range(w)]
+            nf, nb = w, 0
+            while nb < n_mbs:
+                if nf < n_mbs:
+                    seq.append(Unit(nf, rank, FWD))
+                    nf += 1
+                seq.append(Unit(nb, rank, BWD))
+                nb += 1
+            out.append(seq)
+        return out
+
+    @property
+    def name(self) -> str:
+        return f"Hybrid1F1B{list(self.warmup)}"
+
+
 class ZBH1(Schedule):
     """Zero-bubble ZB-H1 (Qi et al. 2024): 1F1B with the backward split
     into an input-gradient unit (``bwd_i``, on the inter-stage critical
@@ -426,6 +489,139 @@ class ZBH2(Schedule):
     @property
     def name(self) -> str:
         return "ZB-H2"
+
+
+class ZBV(Schedule):
+    """Zero-bubble ZB-V (Qi et al. 2024): two chunks per rank placed in a
+    **V shape** — stage ``s`` runs on actor ``s`` while descending
+    (``s < p``) and on actor ``2p - 1 - s`` coming back up, so actor 0
+    owns the first *and* last stage and the pipeline turns around on
+    actor ``p - 1`` (which owns the two adjacent middle stages).
+
+    The V placement is what lets ZB-V approach ZB-H2's bubble at roughly
+    ZB-H1/1F1B's activation memory: the backward chain re-enters each rank
+    twice per microbatch, so weight-gradient units (``bwd_w``) find bubble
+    slots without any rank having to hold ``2p - 1`` activations the way
+    ZB-H2 does.  Loss computation lands on actor 0, so the backward sweep
+    starts where the forward sweep started — there is no idle drain on the
+    last rank.
+
+    The per-rank order is derived by a deterministic greedy list
+    scheduler over the unit dependency graph at ZB-V's design point
+    (``fwd = bwd_i = bwd_w`` unit cost): every rank runs the ready unit
+    with the earliest start time, preferring input-gradient units (the
+    cross-rank critical path), then forwards (downstream-first, matching
+    the interleaved V warmup), and deferring weight-gradient units to
+    bubbles — or emitting them eagerly once the rank's live-activation
+    count reaches the ``2p`` chunk budget (1F1B's byte budget, since each
+    chunk holds half a microbatch's layers).
+    """
+
+    backward_split = True
+
+    def __init__(self, n_actors: int):
+        if n_actors < 1:
+            raise ValueError("ZBV needs at least one actor")
+        self.n_actors = n_actors
+        self.n_stages = 2 * n_actors
+        self._units_cache: dict[int, list[list[Unit]]] = {}
+        self._peaks_cache: dict[int, list[int]] = {}
+
+    def actor_of_stage(self, stage: int) -> int:
+        p = self.n_actors
+        return stage if stage < p else 2 * p - 1 - stage
+
+    def activation_bound(self, rank: int, n_mbs: int) -> int | None:
+        if n_mbs not in self._peaks_cache:
+            self.units(n_mbs)  # populate the measured-peak cache
+        return self._peaks_cache[n_mbs][rank]
+
+    def units(self, n_mbs: int) -> list[list[Unit]]:
+        cached = self._units_cache.get(n_mbs)
+        if cached is not None:
+            return [list(seq) for seq in cached]
+        from repro.core.schedule_ir import iter_unit_deps
+
+        p, S = self.n_actors, self.n_stages
+        budget = 2 * p  # chunk-activations/rank == 1F1B's byte budget
+        kind_prio = {BWD_I: 0, FWD: 1, BWD_W: 2}
+
+        pending: list[set[Unit]] = [set() for _ in range(p)]
+        deps_of: dict[Unit, tuple[Unit, ...]] = {}
+        for mb in range(n_mbs):
+            for s in range(S):
+                for k in (FWD, BWD_I, BWD_W):
+                    u = Unit(mb, s, k)
+                    pending[self.actor_of_stage(s)].add(u)
+                    deps_of[u] = tuple(iter_unit_deps(u, S))
+
+        finish: dict[Unit, float] = {}
+        rank_time = [0.0] * p
+        live = [0] * p
+        seqs: list[list[Unit]] = [[] for _ in range(p)]
+        n_left = n_mbs * S * 3
+
+        def candidate(rank: int, allow_over_budget: bool) -> tuple | None:
+            """Best (start, prio, stage-key, mb, unit) ready on ``rank``."""
+            best = None
+            at_budget = live[rank] >= budget and not allow_over_budget
+            for u in pending[rank]:
+                if u.kind == FWD and at_budget:
+                    continue
+                deps = deps_of[u]
+                if any(d not in finish for d in deps):
+                    continue
+                start = max([rank_time[rank]] + [finish[d] for d in deps])
+                # forwards downstream-first (the interleaved V warmup);
+                # input-gradients deepest-chain-first (stage s still has s
+                # hops of bwd_i chain left below it)
+                stage_key = -u.stage
+                key = (start, kind_prio[u.kind], stage_key, u.mb, u.stage)
+                if best is None or key < best[:-1]:
+                    best = key + (u,)
+            return best
+
+        while n_left:
+            best = None
+            for rank in range(p):
+                c = candidate(rank, allow_over_budget=False)
+                if c is not None and (best is None or c[:-1] < best[0][:-1]):
+                    best = (c, rank)
+            if best is None:
+                # every rank is memory-blocked on a forward: relax the
+                # budget for the earliest one (termination guarantee; does
+                # not trigger for the gallery's p/n_mbs grid)
+                for rank in range(p):  # pragma: no cover - safety valve
+                    c = candidate(rank, allow_over_budget=True)
+                    if c is not None and (best is None or c[:-1] < best[0][:-1]):
+                        best = (c, rank)
+                if best is None:  # pragma: no cover - graph is acyclic
+                    raise AssertionError("ZBV greedy scheduler stalled")
+            (start, _, _, _, _, u), rank = best
+            pending[rank].discard(u)
+            finish[u] = start + 1.0
+            rank_time[rank] = finish[u]
+            seqs[rank].append(u)
+            if u.kind == FWD:
+                live[rank] += 1
+            elif u.kind == BWD_W:
+                live[rank] -= 1
+            n_left -= 1
+
+        peaks = []
+        for seq in seqs:
+            lv = pk = 0
+            for u in seq:
+                lv += 1 if u.kind == FWD else (-1 if u.kind == BWD_W else 0)
+                pk = max(pk, lv)
+            peaks.append(pk)
+        self._peaks_cache[n_mbs] = peaks
+        self._units_cache[n_mbs] = seqs
+        return [list(seq) for seq in seqs]
+
+    @property
+    def name(self) -> str:
+        return "ZB-V"
 
 
 class LoopedBFS(Schedule):
@@ -586,8 +782,13 @@ def schedule_stats(
     n_mbs: int,
     fwd_time: float = 1.0,
     bwd_time: float = 2.0,
+    cost_model=None,
 ) -> dict:
-    """Analytic execution of a schedule under uniform stage costs (costs
-    the lowered :class:`~repro.core.schedule_ir.ScheduleIR` directly; see
+    """Analytic execution of a schedule under uniform stage costs — or
+    heterogeneous per-stage costs when a
+    :class:`repro.core.autotune.CostModel` is given (costs the lowered
+    :class:`~repro.core.schedule_ir.ScheduleIR` directly; see
     :meth:`ScheduleIR.stats`)."""
-    return schedule.lower(n_mbs).stats(fwd_time=fwd_time, bwd_time=bwd_time)
+    return schedule.lower(n_mbs).stats(
+        fwd_time=fwd_time, bwd_time=bwd_time, cost_model=cost_model
+    )

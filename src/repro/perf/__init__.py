@@ -9,7 +9,12 @@ schedules at 175B scale.
 from repro.perf.frameworks import FrameworkResult, jax_fsdp, jax_spmd_pp, jaxpp, nemo
 from repro.perf.kernels import JAX_KERNELS, NEMO_KERNELS, KernelModel
 from repro.perf.memory import RematDecision, decide_remat
-from repro.perf.pipeline_sim import PipelineSimConfig, SimResult, simulate_pipeline
+from repro.perf.pipeline_sim import (
+    PipelineSimConfig,
+    SimResult,
+    price_schedule,
+    simulate_pipeline,
+)
 from repro.perf.transformer import (
     GPT3_175B,
     LLAMA2_70B,
@@ -23,6 +28,6 @@ __all__ = [
     "model_flops_per_step", "tflops_per_device",
     "KernelModel", "JAX_KERNELS", "NEMO_KERNELS",
     "RematDecision", "decide_remat",
-    "PipelineSimConfig", "SimResult", "simulate_pipeline",
+    "PipelineSimConfig", "SimResult", "simulate_pipeline", "price_schedule",
     "FrameworkResult", "jaxpp", "jax_spmd_pp", "jax_fsdp", "nemo",
 ]

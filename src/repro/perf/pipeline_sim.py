@@ -6,6 +6,16 @@ link time from the topology, and the virtual-clock makespan is the step
 time. Schedule behaviour (bubbles, warmup, interleaving, overlap of
 asynchronous P2P) therefore *emerges* from the same machinery the numeric
 runtime uses, rather than from closed-form bubble formulas.
+
+Two entry points share that machinery:
+
+- :func:`simulate_pipeline` prices one full training step of a
+  :class:`PipelineSimConfig` (hardware topology, kernels, remat, DP sync);
+- :func:`price_schedule` prices a *bare schedule* under an explicit
+  per-stage cost table (:class:`repro.core.autotune.CostModel`) — the
+  engine behind ``core.autotune``'s ranked search.  It returns the raw
+  :class:`~repro.runtime.executor.ExecutionResult`, so callers get the
+  wait profile (who parked on what, for how long) alongside the makespan.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ from repro.core.schedules import (
     Schedule,
     ZBH1,
     ZBH2,
+    ZBV,
 )
 from repro.perf import comms
 from repro.perf.kernels import KernelModel
@@ -37,7 +48,7 @@ from repro.runtime.clock import CostModel
 from repro.runtime.executor import CommMode, MpmdExecutor
 from repro.runtime.instructions import BufferRef, Recv, RunTask, Send
 
-__all__ = ["PipelineSimConfig", "SimResult", "simulate_pipeline"]
+__all__ = ["PipelineSimConfig", "SimResult", "simulate_pipeline", "price_schedule"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -53,8 +64,8 @@ class PipelineSimConfig:
         n_mbs: microbatches per pipeline per step (gradient accumulation).
         kernels: software-stack kernel model.
         schedule: ``"interleaved"`` / ``"1f1b"`` / ``"gpipe"`` /
-            ``"eager1f1b"`` / ``"zbh1"`` / ``"zbh2"`` / ``"looped_bfs"`` /
-            ``"interleaved_zb"``.
+            ``"eager1f1b"`` / ``"zbh1"`` / ``"zbh2"`` / ``"zbv"`` /
+            ``"looped_bfs"`` / ``"interleaved_zb"``.
         comm_mode: ASYNC (JaxPP overlapped P2P) or SYNC (blocking baseline).
     """
 
@@ -114,6 +125,10 @@ class PipelineSimConfig:
             if self.v != 1:
                 raise ValueError("ZB-H2 has no circular repeat")
             return ZBH2(self.pp)
+        if self.schedule == "zbv":
+            if self.v != 2:
+                raise ValueError("ZB-V has exactly two v-shape chunks per actor")
+            return ZBV(self.pp)
         if self.schedule == "interleaved":
             return Interleaved1F1B(self.pp, self.v)
         if self.schedule == "looped_bfs":
@@ -325,6 +340,76 @@ def simulate_pipeline(cfg: PipelineSimConfig) -> SimResult:
         p2p_bytes=res.p2p_bytes,
         n_tasks=len(ir.slots[0]),
     )
+
+
+def price_schedule(
+    schedule: Schedule,
+    n_mbs: int,
+    cost_model,
+    *,
+    dispatch_s: float = 0.0,
+    p2p_latency_s: float = 0.0,
+    p2p_bandwidth: float = float("inf"),
+    comm_mode: CommMode = CommMode.ASYNC,
+    tie_break: str = "fifo",
+):
+    """Price a schedule under an explicit per-stage cost table, on the
+    real event engine.
+
+    The schedule's :class:`~repro.core.schedule_ir.ScheduleIR` supplies
+    the tasks (its slots) and the transfers (its cross-rank edges); the
+    ``cost_model`` — any object with ``unit_time(stage, kind,
+    bwd_input_fraction)`` and ``boundary_bytes(stage)``, canonically
+    :class:`repro.core.autotune.CostModel` — supplies each task's device
+    seconds and each boundary tensor's size.  Emission is §4.2's global
+    topological order, identical to :func:`simulate_pipeline`'s, so
+    pricing and full-step simulation see the same overlap behaviour.
+
+    Returns the raw :class:`~repro.runtime.executor.ExecutionResult`:
+    ``makespan`` is the schedule's pipeline-phase time, and
+    ``wait_profile`` / ``parked_by_rank()`` carry the per-resource /
+    per-rank parked-time feedback that drives ``core.autotune``'s
+    second search round.
+    """
+    from repro.runtime.clock import LinearCost
+
+    ir = schedule.lower(n_mbs)
+    frac = schedule.bwd_input_fraction
+    programs: list[list] = [[] for _ in range(ir.n_ranks)]
+
+    def uid(u) -> str:
+        return f"{u.kind}{u.stage}.{u.mb}"
+
+    for slot in ir.toposort():
+        u = slot.unit
+        nbytes = int(cost_model.boundary_bytes(u.stage))
+        programs[slot.rank].append(
+            RunTask(
+                name=f"{u.kind}{u.stage}({u.mb})",
+                in_refs=[BufferRef(uid(d.unit)) for d in ir.buffer_deps(slot)],
+                out_refs=[BufferRef(uid(u))],
+                fn=None,
+                cost=cost_model.unit_time(u.stage, u.kind, frac),
+                meta={"kind": u.kind, "stage": u.stage, "mb": u.mb,
+                      "out_nbytes": [nbytes if u.kind != BWD_W else 0]},
+            )
+        )
+        key = uid(u)
+        for dst in ir.send_dsts(slot):
+            programs[slot.rank].append(Send(BufferRef(key), dst, key))
+            programs[dst].append(Recv(BufferRef(key), slot.rank, key, nbytes))
+
+    executor = MpmdExecutor(
+        ir.n_ranks,
+        cost_model=LinearCost(
+            dispatch=dispatch_s,
+            p2p_latency=p2p_latency_s,
+            p2p_bandwidth=p2p_bandwidth,
+        ),
+        comm_mode=comm_mode,
+        tie_break=tie_break,
+    )
+    return executor.execute(programs, wake_order=ir.initial_ready_ranks())
 
 
 def _adhoc_cluster(node: NodeSpec, n_actors: int):

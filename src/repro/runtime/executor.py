@@ -47,6 +47,19 @@ each stuck actor's program counter, instruction, and the buffer / channel /
 rendezvous it is blocked on, plus the actor-level wait-for cycle when one
 exists.
 
+Every run also produces a **wait profile**
+(:attr:`ExecutionResult.wait_profile`): per resource, how often actors
+newly parked on it and for how much virtual time, with the per-rank
+split kept on each :class:`WaitStat`.  "Parked" means the interval from
+an instruction first blocking to the virtual time it finally ran,
+charged to the resource whose arrival released it — the runtime's
+measurement of the schedule's bubble.  :meth:`ExecutionResult.top_waits`
+ranks resources, :meth:`ExecutionResult.parked_by_rank` sums per actor;
+:func:`repro.core.autotune.tune` feeds both back into schedule search,
+and ``CostModel.from_result`` replays the timeline's per-``(stage,
+kind)`` durations (busy time only — parked time belongs to the schedule
+under search, not the workload).
+
 Two communication modes:
 
 - ``CommMode.SYNC`` — send/recv block their actor until the transfer
@@ -140,15 +153,28 @@ class TimelineEvent:
 class WaitStat:
     """Accumulated parking on one resource.
 
+    "Parked time" is *virtual device-idle* time: the interval between the
+    moment an actor's current instruction first blocked and the virtual
+    time at which it finally ran, charged to the resource whose arrival
+    released it (the wait the actor was last recorded in).  It is the
+    schedule's bubble as the runtime experiences it — the quantity the
+    autotuner's wait-profile feedback minimises.
+
     Attributes:
         count: distinct parks (an instruction newly blocking on the
             resource; re-polls of an unchanged wait are not counted).
         total: total virtual time actors spent parked, charged to the
             resource whose arrival released the instruction.
+        by_rank: the same parked time split by the *waiting* actor — who
+            sat idle on this resource, and for how long (feeds
+            :meth:`ExecutionResult.parked_by_rank` and, through it,
+            ``CostModel.from_result`` / warmup-shift proposals in
+            :mod:`repro.core.autotune`).
     """
 
     count: int = 0
     total: float = 0.0
+    by_rank: dict[int, float] = dataclasses.field(default_factory=dict)
 
 
 @dataclasses.dataclass
@@ -189,6 +215,22 @@ class ExecutionResult:
         return sorted(
             self.wait_profile.items(), key=lambda kv: (-kv[1].total, kv[0])
         )[:n]
+
+    def parked_by_rank(self) -> list[float]:
+        """Total virtual time each actor spent parked, summed over every
+        resource in :attr:`wait_profile`.
+
+        This is the per-rank bubble as measured by the engine (idle time
+        between an instruction blocking and the blocking resource
+        arriving) — the signal :func:`repro.core.autotune.tune` uses to
+        shift warmup toward the longest-parked rank.
+        """
+        out = [0.0] * len(self.actor_finish)
+        for stat in self.wait_profile.values():
+            for rank, t in stat.by_rank.items():
+                if 0 <= rank < len(out):
+                    out[rank] += t
+        return out
 
 
 @dataclasses.dataclass
@@ -397,7 +439,9 @@ class _RunState:
         if wait is None:
             if prev_wait is not None and actor.park_pc == pc_before:
                 stat = self.wait_profile.setdefault(_wait_label(prev_wait), WaitStat())
-                stat.total += max(0.0, self._exec_start - actor.park_time)
+                parked = max(0.0, self._exec_start - actor.park_time)
+                stat.total += parked
+                stat.by_rank[actor.id] = stat.by_rank.get(actor.id, 0.0) + parked
             actor.park_pc = None
             actor.last_wait_sig = None
             actor.wait = None

@@ -1,5 +1,6 @@
-"""Terminal visualisation of schedules and execution timelines (Fig. 2)."""
+"""Terminal visualisation of schedules, execution timelines (Fig. 2),
+and autotuner reports."""
 
-from repro.viz.ascii import render_schedule, render_timeline
+from repro.viz.ascii import render_schedule, render_timeline, render_tune_report
 
-__all__ = ["render_schedule", "render_timeline"]
+__all__ = ["render_schedule", "render_timeline", "render_tune_report"]

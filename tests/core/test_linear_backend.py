@@ -55,13 +55,17 @@ def assert_bit_identical(a, b):
         np.testing.assert_array_equal(x, y)
 
 
-# the full 8-schedule gallery at 4 pipeline stages
+# the full 10-schedule gallery at 4 pipeline stages (two-chunk
+# placements — interleaved, BFS, and the ZB-V v-shape — run 4 stages on
+# 2 actors; Hybrid1F1B exercises a tuner-shaped warmup vector)
 GALLERY = [
     core.GPipe(4),
     core.OneFOneB(4),
     core.Eager1F1B(4),
+    core.Hybrid1F1B(4, (5, 3, 1, 0)),
     core.ZBH1(4),
     core.ZBH2(4),
+    core.ZBV(2),
     core.Interleaved1F1B(2, 2),
     core.LoopedBFS(2, 2),
     core.InterleavedZB(2, 2),

@@ -10,6 +10,7 @@ from repro.core.schedules import (
     BWD_W,
     Eager1F1B,
     GPipe,
+    Hybrid1F1B,
     Interleaved1F1B,
     InterleavedZB,
     LoopedBFS,
@@ -17,6 +18,7 @@ from repro.core.schedules import (
     Unit,
     ZBH1,
     ZBH2,
+    ZBV,
     schedule_stats,
     validate_schedule,
 )
@@ -342,6 +344,107 @@ class TestInterleavedZB:
                     assert pos[(mb, stage, BWD_I)] < i
 
 
+class TestZBV:
+    @pytest.mark.parametrize("p,m", [(1, 2), (2, 2), (2, 5), (3, 6), (4, 8), (4, 11), (8, 16)])
+    def test_valid_on_grid(self, p, m):
+        validate_schedule(ZBV(p), m)
+
+    def test_v_shape_placement(self):
+        # descending chunk on actor s, ascending chunk folded back up:
+        # actor 0 owns the first and last stage, actor p-1 the middle two
+        s = ZBV(4)
+        assert [s.actor_of_stage(i) for i in range(8)] == [0, 1, 2, 3, 3, 2, 1, 0]
+        assert s.stages_of_actor(0) == [0, 7]
+        assert s.stages_of_actor(3) == [3, 4]
+
+    def test_two_chunks_per_actor(self):
+        s = ZBV(3)
+        assert s.n_stages == 6
+        for rank in range(3):
+            assert len(s.stages_of_actor(rank)) == 2
+
+    def test_backward_is_split(self):
+        kinds = {u.kind for seq in ZBV(2).units(4) for u in seq}
+        assert kinds == {"fwd", BWD_I, BWD_W}
+
+    def test_memory_balanced_at_1f1b_bytes(self):
+        # ZB-V's claim: ~2p live *chunk* activations per rank (each chunk
+        # is half the layers), i.e. 1F1B's byte budget, uniformly
+        p, m = 4, 16
+        peaks = schedule_stats(ZBV(p), m)["peak_live_activations"]
+        assert max(peaks) <= 2 * p
+        # and independent of the microbatch count
+        assert peaks == schedule_stats(ZBV(p), 8)["peak_live_activations"]
+
+    def test_smaller_makespan_than_zbh2_and_interleaved_zb(self):
+        # the ZB-V selling point at its design point (fwd = bwd_i = bwd_w):
+        # beats ZB-H2's makespan at roughly half its activation memory
+        # (compare at equal per-rank work: ZBV chunks are half stages)
+        p, m = 4, 8
+        zv = schedule_stats(ZBV(p), m, fwd_time=0.5, bwd_time=1.0)
+        z2 = schedule_stats(ZBH2(p), m, fwd_time=1.0, bwd_time=2.0)
+        iz = schedule_stats(InterleavedZB(p, 2), m, fwd_time=0.5, bwd_time=1.0)
+        assert zv["makespan"] < z2["makespan"]
+        assert zv["makespan"] < iz["makespan"]
+
+    def test_work_conserved(self):
+        zv = schedule_stats(ZBV(4), 8, fwd_time=0.5, bwd_time=1.0)
+        o = schedule_stats(OneFOneB(4), 8, fwd_time=1.0, bwd_time=2.0)
+        assert zv["busy"] == pytest.approx(o["busy"])
+
+    def test_weight_grad_follows_input_grad_locally(self):
+        for seq in ZBV(3).units(6):
+            pos = {(u.mb, u.stage, u.kind): i for i, u in enumerate(seq)}
+            for (mb, stage, kind), i in pos.items():
+                if kind == BWD_W:
+                    assert pos[(mb, stage, BWD_I)] < i
+
+    def test_units_deterministic_and_cached(self):
+        s = ZBV(3)
+        a = s.units(6)
+        b = s.units(6)
+        assert a == b
+        assert a is not b  # callers get copies, not the cache
+        assert a == ZBV(3).units(6)  # fresh instance, same order
+
+    def test_needs_at_least_one_actor(self):
+        with pytest.raises(ValueError):
+            ZBV(0)
+
+
+class TestHybrid1F1B:
+    def test_1f1b_warmup_reproduces_onefoneb(self):
+        p, m = 4, 8
+        hybrid = Hybrid1F1B(p, [p - 1 - r for r in range(p)])
+        assert hybrid.units(m) == OneFOneB(p).units(m)
+
+    def test_eager_warmup_reproduces_eager(self):
+        p, m = 4, 16
+        hybrid = Hybrid1F1B(p, [2 * (p - 1 - r) for r in range(p)])
+        assert hybrid.units(m) == Eager1F1B(p).units(m)
+
+    @pytest.mark.parametrize("warmup", [(5, 3, 2, 0), (8, 8, 8, 8), (1, 1, 1, 0), (0, 0, 0, 0)])
+    def test_non_increasing_vectors_valid(self, warmup):
+        validate_schedule(Hybrid1F1B(4, warmup), 8)
+
+    def test_increasing_vector_deadlocks(self):
+        # a downstream rank warming up more than its upstream deadlocks
+        with pytest.raises(ValueError, match="deadlock"):
+            validate_schedule(Hybrid1F1B(4, (0, 0, 0, 1)), 8)
+
+    def test_activation_bound_tracks_warmup(self):
+        s = Hybrid1F1B(4, (5, 3, 2, 0))
+        peaks = schedule_stats(s, 8)["peak_live_activations"]
+        for rank, peak in enumerate(peaks):
+            assert peak <= s.activation_bound(rank, 8)
+
+    def test_rejects_wrong_length_or_negative(self):
+        with pytest.raises(ValueError):
+            Hybrid1F1B(4, (1, 0))
+        with pytest.raises(ValueError):
+            Hybrid1F1B(2, (-1, 0))
+
+
 class TestValidation:
     def test_detects_duplicate(self):
         class Bad(OneFOneB):
@@ -391,7 +494,7 @@ class TestScheduleProperties:
         v=st.integers(1, 3),
         kind=st.sampled_from(
             ["gpipe", "1f1b", "interleaved", "eager1f1b", "zbh1",
-             "zbh2", "looped_bfs", "interleaved_zb"]
+             "zbh2", "zbv", "looped_bfs", "interleaved_zb"]
         ),
     )
     @settings(max_examples=80, deadline=None)
@@ -399,6 +502,8 @@ class TestScheduleProperties:
         m = p * m_mult
         if kind == "gpipe":
             sched = GPipe(p)
+        elif kind == "zbv":
+            sched = ZBV(p)
         elif kind == "1f1b":
             sched = OneFOneB(p)
         elif kind == "eager1f1b":

@@ -192,6 +192,44 @@ class TestViz:
         out = render_schedule(core.Interleaved1F1B(2, 2), 2)
         assert "'1" in out  # chunk annotation
 
+    def test_render_schedule_zbv_chunks_annotated(self):
+        # the v-shape places two chunks per rank; both must be labelled
+        # with their rank-local chunk index in the full render
+        out = render_schedule(core.ZBV(2), 2)
+        assert "F0'0" in out and "F0'1" in out
+        assert "i0'1" in out and "w0'0" in out
+
+    @pytest.mark.parametrize("width", [8, 14, 30, 60, 120])
+    def test_render_schedule_width_never_clips_mid_cell(self, width):
+        # ZB-V stresses abbreviation: two same-kind chunks per rank must
+        # stay distinguishable, rows must fit, cells must stay whole
+        full_cells = {
+            c
+            for line in render_schedule(core.ZBV(4), 8).splitlines()
+            for c in line.split(": ", 1)[1].split()
+        }
+        out = render_schedule(core.ZBV(4), 8, width=width)
+        for line in out.splitlines():
+            prefix, row = line.split(": ", 1)
+            assert len(row) <= width
+            for cell in row.split():
+                if cell == "…":
+                    continue
+                # every rendered cell is a whole label: either the full
+                # form or its chunk-0 abbreviation (suffix dropped)
+                assert cell in full_cells or f"{cell}'0" in full_cells, cell
+
+    def test_render_schedule_width_abbreviation_keeps_chunk1(self):
+        # abbreviation may drop the chunk-0 suffix but never chunk 1's —
+        # otherwise ZB-V's two chunks of one microbatch collapse into
+        # identical labels
+        for width in (20, 40, 60, 80):
+            out = render_schedule(core.ZBV(2), 4, width=width)
+            for line in out.splitlines():
+                row = line.split(": ", 1)[1]
+                cells = [c for c in row.split() if c != "…"]
+                assert len(cells) == len(set(cells)), (width, row)
+
     def test_render_timeline(self):
         from repro.runtime.executor import TimelineEvent
 

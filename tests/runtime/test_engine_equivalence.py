@@ -343,6 +343,21 @@ class TestWaitProfile:
         ex = MpmdExecutor(1, engine="event")
         res = ex.execute([[RunTask("a", [], [B("x")], fn=lambda v: [1.0])]])
         assert res.wait_profile == {}
+        assert res.parked_by_rank() == [0.0]
+
+    @pytest.mark.parametrize("engine", ["event", "roundrobin"])
+    def test_parked_by_rank_attributes_the_waiter(self, engine):
+        # actor 0 is the one parked on the buffer; actor 1 never waits
+        ex = MpmdExecutor(2, cost_model=LinearCost(), comm_mode=CommMode.ASYNC,
+                          engine=engine)
+        res = ex.execute(self._producer_consumer(cost=3.0))
+        parked = res.parked_by_rank()
+        assert parked[0] == pytest.approx(3.0, abs=0.2)
+        assert parked[1] == 0.0
+        # per-rank split sums back to the per-resource totals
+        assert sum(parked) == pytest.approx(
+            sum(s.total for s in res.wait_profile.values())
+        )
 
     def test_compiled_step_exposes_profile(self):
         train_step, params, batch = _mlp_problem(n_stages=2, mbsz=4)

@@ -1,6 +1,11 @@
-"""Smoke tests for the ``python -m repro`` artefact regenerator."""
+"""Smoke tests for the ``python -m repro`` artefact regenerator and the
+generated-documentation freshness guard."""
+
+import pathlib
 
 from repro.__main__ import ARTEFACTS, main
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
 
 
 class TestCli:
@@ -14,4 +19,39 @@ class TestCli:
         assert "remat" in out and "total step" in out
 
     def test_all_artefacts_registered(self):
-        assert set(ARTEFACTS) == {"table1", "fig6", "fig7", "fig8", "fig9", "fig10"}
+        assert set(ARTEFACTS) == {
+            "table1", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "docs-schedules",
+        }
+
+
+class TestGeneratedDocs:
+    def test_schedules_md_is_fresh(self):
+        """docs/SCHEDULES.md must match what the generator produces from
+        the live gallery — regenerate with `python -m repro
+        docs-schedules` after changing schedules, stats, or the
+        renderer."""
+        from repro.docsgen import generate_schedules_md
+
+        on_disk = (REPO / "docs" / "SCHEDULES.md").read_text()
+        assert on_disk == generate_schedules_md(), (
+            "docs/SCHEDULES.md is stale; run `python -m repro docs-schedules`"
+        )
+
+    def test_generator_is_deterministic(self):
+        from repro.docsgen import generate_schedules_md
+
+        assert generate_schedules_md() == generate_schedules_md()
+
+    def test_gallery_page_covers_all_nine_schedules(self):
+        from repro.docsgen import GALLERY_DOC, generate_schedules_md
+
+        page = generate_schedules_md()
+        assert len(GALLERY_DOC) == 9
+        for doc in GALLERY_DOC:
+            assert f"### {doc.schedule.name}" in page
+            assert f"`{doc.config}`" in page
+
+    def test_docs_schedules_cli_idempotent(self, capsys):
+        assert main(["docs-schedules"]) == 0
+        assert "up to date" in capsys.readouterr().out
