@@ -49,11 +49,18 @@ class RemoteMesh:
             timeline (``step_fn.last_result``).
         comm_mode: point-to-point semantics (ASYNC = JaxPP's overlapped
             sends/recvs; SYNC = the blocking baseline).
-        engine: runtime scheduling loop — ``"event"`` (default) or the
-            ``"roundrobin"`` polling reference (differential testing).
+        engine: runtime backend — ``"event"`` (default, in-process
+            event engine), ``"roundrobin"`` (polling reference,
+            differential testing), or ``"mp"`` (process-per-rank: every
+            actor is a real OS process executing its program on real
+            wall-clock time; see :mod:`repro.runtime.mp`).
         tie_break: event-engine ready-queue ordering for actors runnable
             at the same virtual time (``"fifo"`` / ``"depth_first"`` /
             ``"rank"``); results are identical under every policy.
+        mp_watchdog_s: ``engine="mp"`` only — seconds of no worker
+            progress before the driver reports a deadlock.
+        mp_shm_threshold: ``engine="mp"`` only — ndarray bytes at which
+            transfers switch to shared-memory segments.
     """
 
     def __init__(
@@ -65,6 +72,8 @@ class RemoteMesh:
         comm_mode: CommMode = CommMode.ASYNC,
         engine: str = "event",
         tie_break: str = "fifo",
+        mp_watchdog_s: float | None = None,
+        mp_shm_threshold: int | None = None,
     ):
         shape = tuple(int(s) for s in shape)
         if len(shape) == 1:
@@ -83,10 +92,17 @@ class RemoteMesh:
             raise ValueError(
                 f"unknown tie_break {tie_break!r}; expected one of {TIE_BREAKS}"
             )
+        if engine == "mp" and cost_model is not None:
+            raise ValueError(
+                "engine='mp' measures real wall-clock time; virtual cost "
+                "models only apply to the in-process engines"
+            )
         self.cost_model = cost_model
         self.comm_mode = comm_mode
         self.engine = engine
         self.tie_break = tie_break
+        self.mp_watchdog_s = mp_watchdog_s
+        self.mp_shm_threshold = mp_shm_threshold
 
     @property
     def n_actors(self) -> int:
@@ -215,6 +231,8 @@ class StepFunction:
             comm_mode=self.mesh.comm_mode,
             engine=self.mesh.engine,
             tie_break=self.mesh.tie_break,
+            mp_watchdog_s=self.mesh.mp_watchdog_s,
+            mp_shm_threshold=self.mesh.mp_shm_threshold,
         )
 
         P = self.mesh.n_pipeline_actors

@@ -236,23 +236,39 @@ class CostModel:
         ``stage`` and a ``unit``/``kind`` in the fwd/bwd family) votes its
         observed duration; the table holds the per-``(stage, kind)``
         means, with split backwards re-summed into full backwards
-        (``bwd = mean(bwd_i) + mean(bwd_w)``).  Replay semantics: the
-        model prices *device-busy* time only — parked time is deliberately
-        excluded (it belongs to the schedule being searched over, not to
-        the workload), which is what makes replay-then-retune sound.
+        (``bwd = mean(bwd_i) + mean(bwd_w)``).  A *fused*
+        forward+loss+backward unit (the last pipeline stage of a real
+        numeric run executes both directions in one task) votes its
+        duration 1:2 between the stage's forward and backward — the same
+        convention :meth:`from_tasks` applies, matching the backward's
+        2x FLOPs.  Replay semantics: the model prices *device-busy* time
+        only — parked time is deliberately excluded (it belongs to the
+        schedule being searched over, not to the workload), which is what
+        makes replay-then-retune sound.
         """
+        from repro.core.stage_split import FUSED_KIND
+
         sums: dict[tuple[int, str], float] = {}
         counts: dict[tuple[int, str], int] = {}
+
+        def vote(stage: int, kind: str, dur: float) -> None:
+            key = (int(stage), kind)
+            sums[key] = sums.get(key, 0.0) + dur
+            counts[key] = counts.get(key, 0) + 1
+
         for e in result.timeline:
             if e.kind != "task":
                 continue
             kind = e.meta.get("unit", e.meta.get("kind"))
             stage = e.meta.get("stage")
-            if stage is None or kind not in (FWD, BWD, BWD_I, BWD_W):
+            if stage is None:
                 continue
-            key = (int(stage), kind)
-            sums[key] = sums.get(key, 0.0) + (e.end - e.start)
-            counts[key] = counts.get(key, 0) + 1
+            dur = e.end - e.start
+            if e.meta.get("kind") == FUSED_KIND and kind == FWD:
+                vote(stage, FWD, dur / 3.0)
+                vote(stage, BWD, 2.0 * dur / 3.0)
+            elif kind in (FWD, BWD, BWD_I, BWD_W):
+                vote(stage, kind, dur)
         if not sums:
             raise ValueError(
                 "timeline carries no stage-annotated task events; run with a "

@@ -135,6 +135,77 @@ class CompiledStep:
 TASK_BACKENDS = ("linear", "interpret")
 
 
+# ---------------------------------------------------------------------------
+# instruction payloads
+#
+# Every payload the compiler attaches to a RunTask is a module-level
+# function or a small callable class over picklable state — never a
+# closure or lambda.  The multi-process backend (engine="mp",
+# :mod:`repro.runtime.mp`) ships per-actor programs to spawn-context
+# workers with plain pickle, so payload picklability is part of the
+# compiler's contract (tested by tests/core/test_pickle.py).
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _InterpretFn:
+    """Reference payload: re-walk the stage jaxpr through the interpreter."""
+
+    jaxpr: Jaxpr
+
+    def __call__(self, vals: list) -> list:
+        return eval_jaxpr(self.jaxpr, list(vals))
+
+
+@dataclasses.dataclass
+class _SliceFn:
+    """Microbatch slicing: ``batch[i]`` for one microbatch index."""
+
+    i: int
+
+    def __call__(self, vals: list) -> list:
+        return [np.asarray(vals[0])[self.i]]
+
+
+@dataclasses.dataclass
+class _ScaleFn:
+    """Data-parallel mean: multiply by a pre-computed ``1/dp`` factor."""
+
+    inv: np.float32
+
+    def __call__(self, vals: list) -> list:
+        return [vals[0] * self.inv]
+
+
+def _stack_fn(vals: list) -> list:
+    """STACK combine: stack per-microbatch outputs along a new axis."""
+    return [np.stack(vals)]
+
+
+def _sum_fn(vals: list) -> list:
+    """Elementwise sum of commuted gradient parts (§3.4's combine)."""
+    total = vals[0]
+    for v in vals[1:]:
+        total = total + v
+    return [total]
+
+
+@dataclasses.dataclass
+class _EqnFn:
+    """Payload for a single pre/post-loop train-level equation."""
+
+    eqn: Eqn
+
+    def __call__(self, vals: list) -> list:
+        eqn = self.eqn
+        full: list[Any] = []
+        it = iter(vals)
+        for a in eqn.invars:
+            full.append(a.value if isinstance(a, Literal) else next(it))
+        out = eqn.prim.impl(*full, **eqn.params)
+        return list(out) if eqn.prim.multiple_results else [out]
+
+
 def _make_task_fn(jaxpr: Jaxpr, spmd_config=None, task_backend: str = "linear") -> Callable[[list], list]:
     """Executable payload for a stage task.
 
@@ -167,27 +238,12 @@ def _make_task_fn(jaxpr: Jaxpr, spmd_config=None, task_backend: str = "linear") 
         # microbatches, so the cache amortizes over the whole schedule
         return linearize(jaxpr)
 
-    def run(vals: list) -> list:
-        return eval_jaxpr(jaxpr, vals)
-
-    return run
+    return _InterpretFn(jaxpr)
 
 
 def _make_eqn_fn(eqn: Eqn) -> Callable[[list], list]:
     """Executable payload for a single pre/post-loop equation."""
-    literals = [(i, a.value) for i, a in enumerate(eqn.invars) if isinstance(a, Literal)]
-    n_in = len(eqn.invars)
-
-    def run(vals: list) -> list:
-        full: list[Any] = [None] * n_in
-        it = iter(vals)
-        lit = dict(literals)
-        for i in range(n_in):
-            full[i] = lit[i] if i in lit else next(it)
-        out = eqn.prim.impl(*full, **eqn.params)
-        return list(out) if eqn.prim.multiple_results else [out]
-
-    return run
+    return _EqnFn(eqn)
 
 
 def compile_train_step(
@@ -564,15 +620,12 @@ def compile_train_step(
             actors = sorted({task_actor[t] for t in invar_consumers[k]})
             for a_local in actors:
                 for i in range(n_mbs):
-                    def slice_fn(vals, i=i):
-                        return [np.asarray(vals[0])[i]]
-
                     prog(a_local).append(
                         RunTask(
                             name=f"slice.b{k}[{i}]",
                             in_refs=[BufferRef(uid)],
                             out_refs=[BufferRef(f"mb{i}.bin{k}")],
-                            fn=slice_fn,
+                            fn=_SliceFn(i),
                             meta={
                                 "phase": "slice",
                                 "out_nbytes": [body.invars[k].aval.nbytes],
@@ -730,7 +783,7 @@ def compile_train_step(
                         name=f"dpmean.acc{pos}",
                         in_refs=[BufferRef(f"acc.{pos}")],
                         out_refs=[BufferRef(f"dpm.{pos}")],
-                        fn=lambda vals, inv=inv: [vals[0] * inv],
+                        fn=_ScaleFn(inv),
                         meta={"phase": "dp", "out_nbytes": [body.outvars[pos].aval.nbytes]},
                     )
                 )
@@ -751,7 +804,7 @@ def compile_train_step(
                     name=f"stack.{pos}",
                     in_refs=refs,
                     out_refs=[BufferRef(target)],
-                    fn=lambda vals: [np.stack(vals)],
+                    fn=_stack_fn,
                     meta={
                         "phase": "stack",
                         "out_nbytes": [body.outvars[pos].aval.nbytes * n_mbs],
@@ -769,7 +822,7 @@ def compile_train_step(
                         name=f"dpmean.stack{pos}",
                         in_refs=[BufferRef(target)],
                         out_refs=[BufferRef(f"dpm.stack.{pos}")],
-                        fn=lambda vals, inv=inv: [vals[0] * inv],
+                        fn=_ScaleFn(inv),
                         meta={"phase": "dp", "out_nbytes": [body.outvars[pos].aval.nbytes * n_mbs]},
                     )
                 )
@@ -791,18 +844,12 @@ def compile_train_step(
                     )
                 part_refs.append(ref)
 
-            def combine_fn(vals):
-                total = vals[0]
-                for v in vals[1:]:
-                    total = total + v
-                return [total]
-
             prog(target_actor).append(
                 RunTask(
                     name=f"combine.{k}",
                     in_refs=part_refs,
                     out_refs=[BufferRef(f"combine.{k}")],
-                    fn=combine_fn,
+                    fn=_sum_fn,
                     meta={
                         "phase": "combine",
                         "out_nbytes": [body.outvars[parts[0]].aval.nbytes],

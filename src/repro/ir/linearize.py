@@ -452,6 +452,24 @@ class LinearProgram:
             f"fused={s['fused_away']}, donations={s['donations']})"
         )
 
+    def __reduce__(self):
+        """Pickle as ``linearize(jaxpr)``: ship the (picklable) source
+        jaxpr and re-lower on the other side.
+
+        The lowered form is full of things pickle cannot and should not
+        carry — ``functools.partial`` over primitive impls,
+        :class:`FusedChain` steps holding raw NumPy ufuncs, and the
+        identity-keyed caches.  Lowering is deterministic, so rebuilding
+        from the jaxpr yields a bit-identical program; pickle's memo table
+        preserves sharing, so the many :class:`~repro.runtime.instructions.RunTask`
+        payloads of one stage task still collapse to a single program per
+        pickle (and the identity-keyed ``linearize`` cache deduplicates
+        again in the receiving process).  This is what makes compiled
+        per-actor programs spawn-context clean for the multi-process MPMD
+        backend (:mod:`repro.runtime.mp`).
+        """
+        return linearize, (self.jaxpr,)
+
     # -- execution ----------------------------------------------------------
     def __call__(self, args: Sequence[Any]) -> list[Any]:
         if tracer.current_trace() is not None:

@@ -110,5 +110,35 @@ class Primitive:
 
         return tracer.bind(self, *args, **params)
 
+    def __reduce__(self):
+        """Pickle by registry name.
+
+        Primitives are process-wide singletons whose rules (impl /
+        abstract / vjp) are frequently lambdas, so pickling the object
+        itself would both fail and break the identity invariants the
+        compiler relies on (``eqn.prim is registry[name]``).  Reducing to
+        a registry lookup keeps jaxprs — and through them compiled task
+        payloads — spawn-context picklable for the multi-process MPMD
+        backend (:mod:`repro.runtime.mp`).
+        """
+        return _lookup, (self.name,)
+
     def __repr__(self) -> str:
         return f"Primitive({self.name})"
+
+
+def _lookup(name: str) -> "Primitive":
+    """Unpickling hook: resolve a primitive by name in this process's
+    registry (populated by importing :mod:`repro.ir.ops` et al.)."""
+    import repro.ir.ops  # noqa: F401  (registers the standard primitives)
+    import repro.core.accumulate  # noqa: F401  (pipeline_loop)
+    import repro.ir.pipeline  # noqa: F401  (pipeline_yield markers)
+    import repro.spmd.collectives  # noqa: F401  (shard_constraint et al.)
+
+    try:
+        return registry[name]
+    except KeyError:
+        raise ValueError(
+            f"cannot unpickle primitive {name!r}: not registered in this "
+            "process (import the module that defines it first)"
+        ) from None

@@ -1,6 +1,9 @@
 """Single-controller MPMD runtime (§4): per-actor instruction streams,
 object stores, ordered P2P channels, and the deterministic dataflow
-executor that doubles as a discrete-event performance simulator."""
+executor that doubles as a discrete-event performance simulator — plus
+the process-per-rank backend (``engine="mp"``,
+:mod:`repro.runtime.mp`) that executes the same programs on real OS
+processes and real wall-clock time."""
 
 from repro.runtime.clock import CostModel, LinearCost, ZeroCost
 from repro.runtime.executor import (
@@ -24,9 +27,11 @@ from repro.runtime.instructions import (
     RunTask,
     Send,
 )
+from repro.runtime.mp import DEFAULT_SHM_THRESHOLD, DEFAULT_WATCHDOG_S, execute_mp
 from repro.runtime.store import Buffer, ObjectStore
 
 __all__ = [
+    "execute_mp", "DEFAULT_SHM_THRESHOLD", "DEFAULT_WATCHDOG_S",
     "CostModel", "ZeroCost", "LinearCost",
     "MpmdExecutor", "CommMode", "DeadlockError", "CommMismatchError",
     "ExecutionResult", "TimelineEvent", "WaitStat", "ENGINES", "TIE_BREAKS",

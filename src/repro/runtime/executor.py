@@ -109,7 +109,7 @@ __all__ = [
     "TIE_BREAKS",
 ]
 
-ENGINES = ("event", "roundrobin")
+ENGINES = ("event", "roundrobin", "mp")
 
 #: Ready-queue orderings for actors runnable at the same virtual time:
 #: ``"fifo"`` (default — wake order, the historical behaviour),
@@ -215,6 +215,105 @@ class ExecutionResult:
         return sorted(
             self.wait_profile.items(), key=lambda kv: (-kv[1].total, kv[0])
         )[:n]
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string (schema version 1).
+
+        Everything :meth:`CostModel.from_result
+        <repro.core.autotune.CostModel.from_result>` replays — the
+        timeline with per-event ``meta`` (stage / unit annotations) — plus
+        the wait profile and scheduler counters survives the trip, so a
+        measured run (e.g. a real ``engine="mp"`` execution) can be
+        persisted and replay-tuned later.  Event ``meta`` values are
+        coerced to JSON-native types (NumPy scalars become Python
+        numbers); payload-free fields only, never buffer contents.
+        """
+        import json
+
+        import numpy as np
+
+        def jsonable(v):
+            if isinstance(v, (np.integer,)):
+                return int(v)
+            if isinstance(v, (np.floating,)):
+                return float(v)
+            if isinstance(v, (list, tuple)):
+                return [jsonable(x) for x in v]
+            if isinstance(v, dict):
+                return {str(k): jsonable(x) for k, x in v.items()}
+            return v
+
+        return json.dumps(
+            {
+                "version": 1,
+                "makespan": self.makespan,
+                "engine": self.engine,
+                "visits": self.visits,
+                "repolls": self.repolls,
+                "actor_finish": list(self.actor_finish),
+                "p2p_bytes": self.p2p_bytes,
+                "p2p_count": self.p2p_count,
+                "timeline": [
+                    {
+                        "actor": e.actor,
+                        "kind": e.kind,
+                        "name": e.name,
+                        "start": e.start,
+                        "end": e.end,
+                        "nbytes": e.nbytes,
+                        "meta": jsonable(e.meta),
+                    }
+                    for e in self.timeline
+                ],
+                "wait_profile": {
+                    label: {
+                        "count": stat.count,
+                        "total": stat.total,
+                        "by_rank": {str(r): t for r, t in stat.by_rank.items()},
+                    }
+                    for label, stat in self.wait_profile.items()
+                },
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExecutionResult":
+        """Rebuild an :class:`ExecutionResult` from :meth:`to_json` output."""
+        import json
+
+        d = json.loads(text)
+        version = d.get("version")
+        if version != 1:
+            raise ValueError(f"unsupported ExecutionResult JSON version {version!r}")
+        return cls(
+            makespan=d["makespan"],
+            timeline=[
+                TimelineEvent(
+                    actor=e["actor"],
+                    kind=e["kind"],
+                    name=e["name"],
+                    start=e["start"],
+                    end=e["end"],
+                    nbytes=e["nbytes"],
+                    meta=dict(e["meta"]),
+                )
+                for e in d["timeline"]
+            ],
+            actor_finish=list(d["actor_finish"]),
+            p2p_bytes=d["p2p_bytes"],
+            p2p_count=d["p2p_count"],
+            engine=d["engine"],
+            visits=d["visits"],
+            repolls=d["repolls"],
+            wait_profile={
+                label: WaitStat(
+                    count=s["count"],
+                    total=s["total"],
+                    by_rank={int(r): t for r, t in s["by_rank"].items()},
+                )
+                for label, s in d["wait_profile"].items()
+            },
+        )
 
     def parked_by_rank(self) -> list[float]:
         """Total virtual time each actor spent parked, summed over every
@@ -730,14 +829,22 @@ class MpmdExecutor:
         n_actors: number of actors (one program per actor).
         cost_model: virtual-time provider (default ``ZeroCost``).
         comm_mode: point-to-point semantics.
-        engine: ``"event"`` (default, O(1) visits per instruction) or
+        engine: ``"event"`` (default, O(1) visits per instruction),
             ``"roundrobin"`` (the polling-fixpoint reference; identical
-            results, kept for differential testing).
+            results, kept for differential testing), or ``"mp"`` (the
+            process-per-rank backend of :mod:`repro.runtime.mp`: real OS
+            processes, real wall-clock timing; requires pickle-clean
+            programs and accepts no virtual cost model).
         tie_break: event-engine ready-queue ordering for actors runnable
             at the same virtual time — one of :data:`TIE_BREAKS`
             (``"fifo"`` default).  Results are identical under every
             policy (dataflow determinism); only scheduler visit patterns
             differ.  Ignored by the round-robin reference.
+        mp_watchdog_s: ``engine="mp"`` only — driver-side no-progress
+            window before a run is declared deadlocked.
+        mp_shm_threshold: ``engine="mp"`` only — ndarray payload size (in
+            bytes) at which point-to-point transfers switch from inline
+            pickling to shared-memory segments.
     """
 
     def __init__(
@@ -747,6 +854,8 @@ class MpmdExecutor:
         comm_mode: CommMode = CommMode.ASYNC,
         engine: str = "event",
         tie_break: str = "fifo",
+        mp_watchdog_s: float | None = None,
+        mp_shm_threshold: int | None = None,
     ):
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -754,11 +863,18 @@ class MpmdExecutor:
             raise ValueError(
                 f"unknown tie_break {tie_break!r}; expected one of {TIE_BREAKS}"
             )
+        if engine == "mp" and cost_model is not None:
+            raise ValueError(
+                "engine='mp' measures real wall-clock time; virtual cost "
+                "models only apply to the in-process engines"
+            )
         self.n_actors = n_actors
         self.cost = cost_model or ZeroCost()
         self.comm_mode = comm_mode
         self.engine = engine
         self.tie_break = tie_break
+        self.mp_watchdog_s = mp_watchdog_s
+        self.mp_shm_threshold = mp_shm_threshold
         self.stores = [ObjectStore(i) for i in range(n_actors)]
 
     # -- store management (driver-facing) -------------------------------------
@@ -814,6 +930,17 @@ class MpmdExecutor:
         """
         if len(programs) != self.n_actors:
             raise ValueError(f"expected {self.n_actors} programs, got {len(programs)}")
+        if self.engine == "mp":
+            from repro.runtime import mp as _mp_backend
+
+            kw: dict = {}
+            if self.mp_watchdog_s is not None:
+                kw["watchdog_s"] = self.mp_watchdog_s
+            if self.mp_shm_threshold is not None:
+                kw["shm_threshold"] = self.mp_shm_threshold
+            return _mp_backend.execute_mp(
+                programs, self.stores, comm_mode=self.comm_mode, **kw
+            )
         actors = [_Actor(i, prog, self.stores[i]) for i, prog in enumerate(programs)]
         state = _RunState(actors, self.stores, self.cost, self.comm_mode)
 

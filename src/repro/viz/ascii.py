@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.schedules import Schedule
-from repro.runtime.executor import TimelineEvent
+from repro.runtime.executor import ExecutionResult, TimelineEvent
 
 __all__ = ["render_schedule", "render_timeline", "render_tune_report"]
 
@@ -140,19 +140,31 @@ def render_tune_report(report, width: int = 100) -> str:
 
 
 def render_timeline(
-    events: Sequence[TimelineEvent],
-    n_actors: int,
+    events: "Sequence[TimelineEvent] | ExecutionResult",
+    n_actors: int | None = None,
     width: int = 100,
     kinds: tuple[str, ...] = ("task",),
 ) -> str:
-    """Wall-clock timeline: one row per actor, proportional to virtual time.
+    """Wall-clock timeline: one row per actor, proportional to time.
 
     Task intervals are filled with the first letter of their name (``f``/
     ``b``), idle time with ``.`` — making pipeline bubbles literally
     visible in the terminal, which is how the schedule-comparison example
     shows GPipe's bubble against 1F1B's.
+
+    ``events`` may be a raw event list or a whole
+    :class:`~repro.runtime.executor.ExecutionResult` (``n_actors`` then
+    defaults to the result's actor count).  Time is whatever the events
+    carry: virtual seconds from the simulator, *real* wall-clock seconds
+    from a measured ``engine="mp"`` run — the same renderer draws both.
     """
+    if isinstance(events, ExecutionResult):
+        if n_actors is None:
+            n_actors = len(events.actor_finish)
+        events = events.timeline
     evs = [e for e in events if e.kind in kinds]
+    if n_actors is None:
+        n_actors = 1 + max((e.actor for e in evs), default=-1)
     if not evs:
         return "(empty timeline)"
     t_end = max(e.end for e in evs)

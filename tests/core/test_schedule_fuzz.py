@@ -1,0 +1,208 @@
+"""Property/fuzz suite for the graph-check / executor contract.
+
+Randomly mutate valid schedules — drop, duplicate, reorder, and misplace
+slots in their per-actor unit tables — and assert the dichotomy the stack
+promises:
+
+- every mutant either **fails** ``validate_schedule`` (the ScheduleIR
+  table/graph checks reject it before it reaches the runtime), or
+- **executes to the reference result** — compile + run succeed and every
+  engine produces a result bit-identical to the reference engine
+  (``"roundrobin"``) running the *same* mutant, and numerically equal to
+  the unmutated schedule up to floating-point summation order (a valid
+  reorder may legitimately accumulate microbatch gradients in a
+  different order, which is an FP-rounding difference, not a bug).
+  The slow lane extends the cross-engine check to the process-per-rank
+  ``"mp"`` backend.
+
+There is no third outcome: a schedule that passes validation and then
+crashes, hangs, or silently computes something different is exactly the
+bug class this suite exists to catch.  All randomness flows from seeded
+``np.random.RandomState`` instances passed in explicitly — no ambient
+entropy, every failure reproduces.
+"""
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.core.schedules import BWD, BWD_I, BWD_W, FWD, Schedule, Unit
+from tests.core.test_linear_backend import assert_bit_identical, make_problem
+
+N_MBS = 4
+
+
+class MutantSchedule(Schedule):
+    """A schedule defined by an explicit (possibly corrupted) unit table.
+
+    Placement and backward-mode metadata delegate to the base schedule;
+    only the per-actor orders differ.  Declares no activation bound — the
+    property under test is the validity/equivalence dichotomy, not the
+    base schedule's memory promise.
+    """
+
+    def __init__(self, base: Schedule, unit_lists: list[list[Unit]]):
+        self.base = base
+        self.n_actors = base.n_actors
+        self.n_stages = base.n_stages
+        self.backward_split = base.backward_split
+        self.bwd_input_fraction = base.bwd_input_fraction
+        self._units = [list(seq) for seq in unit_lists]
+
+    def actor_of_stage(self, stage: int) -> int:
+        return self.base.actor_of_stage(stage)
+
+    def activation_bound(self, rank: int, n_mbs: int):
+        return None
+
+    def units(self, n_mbs: int) -> list[list[Unit]]:
+        return [list(seq) for seq in self._units]
+
+    @property
+    def name(self) -> str:
+        return f"mutant({self.base.name})"
+
+
+def mutate(base: Schedule, n_mbs: int, rng: np.random.RandomState) -> MutantSchedule:
+    """One random structural mutation of ``base``'s unit table."""
+    table = [list(seq) for seq in base.units(n_mbs)]
+    op = rng.choice(
+        ["drop", "dup", "swap_adjacent", "swap_any", "move", "cross_rank", "rekind"]
+    )
+    rank = int(rng.randint(len(table)))
+    row = table[rank]
+    i = int(rng.randint(len(row)))
+    if op == "drop":
+        del row[i]
+    elif op == "dup":
+        row.insert(int(rng.randint(len(row) + 1)), row[i])
+    elif op == "swap_adjacent":
+        j = min(i + 1, len(row) - 1)
+        row[i], row[j] = row[j], row[i]
+    elif op == "swap_any":
+        j = int(rng.randint(len(row)))
+        row[i], row[j] = row[j], row[i]
+    elif op == "move":
+        u = row.pop(i)
+        row.insert(int(rng.randint(len(row) + 1)), u)
+    elif op == "cross_rank":
+        other = int(rng.randint(len(table)))
+        table[other].insert(int(rng.randint(len(table[other]) + 1)), row.pop(i))
+    elif op == "rekind":
+        u = row[i]
+        kinds = (FWD, BWD_I, BWD_W) if base.backward_split else (FWD, BWD)
+        new_kind = kinds[int(rng.randint(len(kinds)))]
+        row[i] = Unit(u.mb, u.stage, new_kind)
+    return MutantSchedule(base, table)
+
+
+BASES = [core.OneFOneB(3), core.GPipe(3), core.ZBH1(3)]
+
+
+def _reference(base: Schedule):
+    ts, params, batch = make_problem(base.n_stages, n_mbs=N_MBS)
+    want = core.RemoteMesh((base.n_actors,)).distributed(ts, schedule=base)(
+        params, batch
+    )
+    return ts, params, batch, want
+
+
+def _assert_allclose(a, b):
+    from repro import ir
+
+    fa, ta = ir.tree_flatten(a)
+    fb, tb = ir.tree_flatten(b)
+    assert repr(ta) == repr(tb)
+    for x, y in zip(fa, fb):
+        np.testing.assert_allclose(
+            np.asarray(x), np.asarray(y), rtol=1e-4, atol=1e-5
+        )
+
+
+def _classify_and_check(base, ts, params, batch, want, mutant, engines):
+    """Returns ``"invalid"`` or ``"valid"`` after asserting the contract."""
+    try:
+        core.validate_schedule(mutant, N_MBS)
+    except ValueError:
+        return "invalid"
+    # reference engine runs the *same* mutant: cross-engine results must
+    # be bit-identical (dataflow determinism) ...
+    ref_mesh = core.RemoteMesh((mutant.n_actors,), engine="roundrobin")
+    ref = ref_mesh.distributed(ts, schedule=mutant)(params, batch)
+    for engine in engines:
+        kw = {"mp_watchdog_s": 60.0} if engine == "mp" else {}
+        mesh = core.RemoteMesh((mutant.n_actors,), engine=engine, **kw)
+        got = mesh.distributed(ts, schedule=mutant)(params, batch)
+        assert_bit_identical(ref, got)
+    # ... and numerically equal to the unmutated schedule up to the FP
+    # rounding a reordered gradient accumulation is allowed to introduce
+    _assert_allclose(want, ref)
+    return "valid"
+
+
+class TestScheduleFuzz:
+    @pytest.mark.parametrize("base", BASES, ids=lambda s: s.name)
+    def test_mutants_fail_validation_or_execute_to_reference(self, base):
+        rng = np.random.RandomState(0xA5 + base.n_stages)
+        ts, params, batch, want = _reference(base)
+        outcomes = {"invalid": 0, "valid": 0}
+        for _ in range(40):
+            mutant = mutate(base, N_MBS, rng)
+            outcome = _classify_and_check(
+                base, ts, params, batch, want, mutant,
+                engines=("event", "roundrobin"),
+            )
+            outcomes[outcome] += 1
+        # the fuzzer must genuinely exercise both sides of the dichotomy
+        assert outcomes["invalid"] > 0, outcomes
+        assert outcomes["valid"] > 0, outcomes
+
+    def test_identity_mutation_is_valid(self):
+        base = core.OneFOneB(3)
+        mutant = MutantSchedule(base, base.units(N_MBS))
+        core.validate_schedule(mutant, N_MBS)
+
+    def test_dropped_slot_always_invalid(self):
+        rng = np.random.RandomState(7)
+        base = core.OneFOneB(3)
+        table = [list(seq) for seq in base.units(N_MBS)]
+        del table[int(rng.randint(3))][0]
+        with pytest.raises(ValueError, match="incomplete"):
+            core.validate_schedule(MutantSchedule(base, table), N_MBS)
+
+    def test_duplicated_slot_always_invalid(self):
+        base = core.OneFOneB(3)
+        table = [list(seq) for seq in base.units(N_MBS)]
+        table[0].append(table[0][0])
+        with pytest.raises(ValueError, match="twice"):
+            core.validate_schedule(MutantSchedule(base, table), N_MBS)
+
+    def test_misplaced_slot_always_invalid(self):
+        base = core.OneFOneB(3)
+        table = [list(seq) for seq in base.units(N_MBS)]
+        table[1].append(table[0].pop(0))
+        with pytest.raises(ValueError, match="belongs to actor"):
+            core.validate_schedule(MutantSchedule(base, table), N_MBS)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("base", BASES[:2], ids=lambda s: s.name)
+    def test_valid_mutants_hold_on_mp_engine(self, base):
+        """A handful of valid mutants execute bit-identically on real OS
+        processes too — the fuzz contract extends to ``engine="mp"``."""
+        rng = np.random.RandomState(0xC3)
+        ts, params, batch, want = _reference(base)
+        checked = 0
+        for _ in range(60):
+            if checked >= 3:
+                break
+            mutant = mutate(base, N_MBS, rng)
+            try:
+                core.validate_schedule(mutant, N_MBS)
+            except ValueError:
+                continue
+            outcome = _classify_and_check(
+                base, ts, params, batch, want, mutant, engines=("mp",)
+            )
+            assert outcome == "valid"
+            checked += 1
+        assert checked == 3

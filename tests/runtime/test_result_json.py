@@ -1,0 +1,79 @@
+"""`ExecutionResult` JSON persistence.
+
+A measured timeline (virtual-time simulation or a real ``engine="mp"``
+run) must survive ``to_json`` / ``from_json`` well enough that
+``CostModel.from_result`` rebuilds the *same* cost table from the
+round-tripped result as from the live one — that is what makes
+"measure once, replay-tune later" a storable workflow.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import core, ir
+from repro.core.autotune import CostModel
+from repro.perf.pipeline_sim import price_schedule
+from repro.runtime.executor import ExecutionResult
+from tests.core.test_linear_backend import make_problem
+
+
+def _priced_result(schedule=None, n_mbs=6):
+    schedule = schedule or core.OneFOneB(4)
+    cm = CostModel(fwd=(1.0, 1.5, 2.0, 3.0), bwd=(2.0, 3.0, 4.0, 6.0))
+    return price_schedule(schedule, n_mbs, cm, dispatch_s=0.1, p2p_latency_s=0.2)
+
+
+class TestRoundTrip:
+    def test_fields_identical(self):
+        res = _priced_result()
+        back = ExecutionResult.from_json(res.to_json())
+        assert back.makespan == res.makespan
+        assert back.engine == res.engine
+        assert back.visits == res.visits
+        assert back.repolls == res.repolls
+        assert back.actor_finish == list(res.actor_finish)
+        assert back.p2p_bytes == res.p2p_bytes
+        assert back.p2p_count == res.p2p_count
+        assert len(back.timeline) == len(res.timeline)
+        for a, b in zip(res.timeline, back.timeline):
+            assert (a.actor, a.kind, a.name, a.start, a.end, a.nbytes) == (
+                b.actor, b.kind, b.name, b.start, b.end, b.nbytes,
+            )
+            assert a.meta == b.meta
+        assert set(back.wait_profile) == set(res.wait_profile)
+        for label, stat in res.wait_profile.items():
+            got = back.wait_profile[label]
+            assert (got.count, got.total, got.by_rank) == (
+                stat.count, stat.total, stat.by_rank,
+            )
+
+    def test_cost_model_replay_matches_live(self):
+        res = _priced_result(core.ZBH1(4))
+        live = CostModel.from_result(res, n_stages=4)
+        replayed = CostModel.from_result(
+            ExecutionResult.from_json(res.to_json()), n_stages=4
+        )
+        assert replayed.fwd == live.fwd
+        assert replayed.bwd == live.bwd
+
+    def test_numeric_run_round_trips(self):
+        """A real (numeric) execution's result — NumPy ints in event meta
+        and all — serializes cleanly and replays byte-for-byte."""
+        ts, params, batch = make_problem(3, n_mbs=4)
+        mesh = core.RemoteMesh((3,))
+        step = mesh.distributed(ts, schedule=core.OneFOneB(3))
+        step(params, batch)
+        res = step.last_result
+        back = ExecutionResult.from_json(res.to_json())
+        assert back.to_json() == res.to_json()
+
+    def test_wait_profile_ranks_survive_as_ints(self):
+        res = _priced_result()
+        back = ExecutionResult.from_json(res.to_json())
+        assert back.parked_by_rank() == res.parked_by_rank()
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            ExecutionResult.from_json('{"version": 99}')
