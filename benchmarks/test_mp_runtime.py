@@ -105,9 +105,12 @@ def test_mp_overhead_and_replay_tune(results_dir):
     want = event_step(params, batch)
     event_s = time.perf_counter() - t0
 
-    mp_step = core.RemoteMesh((4,), engine="mp", mp_watchdog_s=WATCHDOG_S).distributed(
-        train_step, schedule=core.OneFOneB(4)
-    )
+    # mp_persistent=False on purpose: this record tracks the *cold*
+    # spawn-per-step trajectory; the warm-pool numbers live in
+    # BENCH_mp_pool.json (benchmarks/test_mp_pool.py)
+    mp_step = core.RemoteMesh(
+        (4,), engine="mp", mp_persistent=False, mp_watchdog_s=WATCHDOG_S
+    ).distributed(train_step, schedule=core.OneFOneB(4))
     t0 = time.perf_counter()
     got = mp_step(params, batch)
     mp_s = time.perf_counter() - t0
@@ -141,9 +144,9 @@ def test_mp_overhead_and_replay_tune(results_dir):
     analytic = tune(analytic_cm, PP, N_MBS).best
 
     # measured table: one real mp run of the baseline schedule
-    mp_step = core.RemoteMesh((PP,), engine="mp", mp_watchdog_s=WATCHDOG_S).distributed(
-        train_step, schedule=core.OneFOneB(PP)
-    )
+    mp_step = core.RemoteMesh(
+        (PP,), engine="mp", mp_persistent=False, mp_watchdog_s=WATCHDOG_S
+    ).distributed(train_step, schedule=core.OneFOneB(PP))
     mp_step(params, batch)
     measured_res = mp_step.last_result
     measured_cm = CostModel.from_result(measured_res, n_stages=PP)

@@ -61,6 +61,13 @@ class RemoteMesh:
             progress before the driver reports a deadlock.
         mp_shm_threshold: ``engine="mp"`` only — ndarray bytes at which
             transfers switch to shared-memory segments.
+        mp_persistent: ``engine="mp"`` only — keep one warm
+            :class:`~repro.runtime.pool.ActorPool` per mesh (default):
+            processes spawn once, programs ship once, and every step
+            submission reuses them.  ``False`` restores the one-shot
+            spawn-per-step driver (cold-start measurement, debugging).
+        mp_max_inflight: ``engine="mp"`` only — the persistent pool's
+            bound on outstanding submissions (backpressure).
     """
 
     def __init__(
@@ -74,6 +81,8 @@ class RemoteMesh:
         tie_break: str = "fifo",
         mp_watchdog_s: float | None = None,
         mp_shm_threshold: int | None = None,
+        mp_persistent: bool = True,
+        mp_max_inflight: int = 4,
     ):
         shape = tuple(int(s) for s in shape)
         if len(shape) == 1:
@@ -103,6 +112,43 @@ class RemoteMesh:
         self.tie_break = tie_break
         self.mp_watchdog_s = mp_watchdog_s
         self.mp_shm_threshold = mp_shm_threshold
+        self.mp_persistent = bool(mp_persistent)
+        self.mp_max_inflight = int(mp_max_inflight)
+        self._mp_pool = None
+
+    def _acquire_mp_pool(self, n_actors: int):
+        """The mesh's warm :class:`~repro.runtime.pool.ActorPool`, spawned
+        lazily on first use and respawned transparently after a failure
+        (worker crash, deadlock) or an actor-count change."""
+        from repro.runtime.pool import ActorPool
+
+        pool = self._mp_pool
+        if pool is not None and (not pool.alive() or pool.n_actors != n_actors):
+            # alive() checks worker liveness too: a silently-killed worker
+            # is grounds for a respawn even before the pool's own driver
+            # thread has noticed and marked the pool failed
+            pool.shutdown()
+            pool = self._mp_pool = None
+        if pool is None:
+            pool = self._mp_pool = ActorPool(
+                n_actors,
+                comm_mode=self.comm_mode,
+                watchdog_s=self.mp_watchdog_s,
+                shm_threshold=self.mp_shm_threshold,
+                max_inflight=self.mp_max_inflight,
+            )
+        return pool
+
+    def close(self) -> None:
+        """Shut down the mesh's persistent actor pool (if one is warm).
+
+        Idempotent; the mesh stays usable — the next ``engine="mp"`` step
+        simply spawns a fresh pool.  An unclosed mesh cleans up via GC
+        (the pool holds no reference back to the mesh)."""
+        pool = self._mp_pool
+        self._mp_pool = None
+        if pool is not None:
+            pool.shutdown()
 
     @property
     def n_actors(self) -> int:
@@ -225,6 +271,9 @@ class StepFunction:
         compiled = self.compiled
         assert compiled is not None
 
+        mp_pool = None
+        if self.mesh.engine == "mp" and self.mesh.mp_persistent:
+            mp_pool = self.mesh._acquire_mp_pool(compiled.n_actors)
         executor = MpmdExecutor(
             compiled.n_actors,
             cost_model=self.mesh.cost_model,
@@ -233,6 +282,8 @@ class StepFunction:
             tie_break=self.mesh.tie_break,
             mp_watchdog_s=self.mesh.mp_watchdog_s,
             mp_shm_threshold=self.mesh.mp_shm_threshold,
+            mp_pool=mp_pool,
+            mp_program_key=compiled.program_key,
         )
 
         P = self.mesh.n_pipeline_actors

@@ -36,6 +36,7 @@ reference, mirroring the runtime's ``engine="roundrobin"``.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -60,6 +61,10 @@ from repro.runtime.instructions import (
 )
 
 __all__ = ["CompiledStep", "compile_train_step", "find_batch_inputs"]
+
+#: monotonically-increasing suffix making every ``CompiledStep``'s
+#: ``program_key`` unique within the driver process.
+_PROGRAM_KEYS = itertools.count()
 
 
 def find_batch_inputs(jaxpr: Jaxpr) -> set[int]:
@@ -106,6 +111,9 @@ class CompiledStep:
         task_backend: how stage-task payloads execute — ``"linear"`` (the
             slot-indexed :class:`~repro.ir.linearize.LinearProgram` VM) or
             ``"interpret"`` (the tree-walking reference interpreter).
+        program_key: process-unique readable id for this compiled step —
+            the cache-key prefix under which the persistent mp pool ships
+            and caches its programs worker-side.
     """
 
     n_actors: int
@@ -120,6 +128,9 @@ class CompiledStep:
     schedule_ir: ScheduleIR | None = None
     task_backend: str = "linear"
     tune_report: Any = None
+    program_key: str = dataclasses.field(
+        default_factory=lambda: f"step-{next(_PROGRAM_KEYS)}"
+    )
 
     @property
     def instruction_counts(self) -> dict[str, int]:

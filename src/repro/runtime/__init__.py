@@ -28,10 +28,17 @@ from repro.runtime.instructions import (
     Send,
 )
 from repro.runtime.mp import DEFAULT_SHM_THRESHOLD, DEFAULT_WATCHDOG_S, execute_mp
+from repro.runtime.pool import (
+    DEFAULT_MAX_INFLIGHT,
+    ActorPool,
+    PoolBackpressureTimeout,
+    PoolFuture,
+)
 from repro.runtime.store import Buffer, ObjectStore
 
 __all__ = [
     "execute_mp", "DEFAULT_SHM_THRESHOLD", "DEFAULT_WATCHDOG_S",
+    "ActorPool", "PoolFuture", "PoolBackpressureTimeout", "DEFAULT_MAX_INFLIGHT",
     "CostModel", "ZeroCost", "LinearCost",
     "MpmdExecutor", "CommMode", "DeadlockError", "CommMismatchError",
     "ExecutionResult", "TimelineEvent", "WaitStat", "ENGINES", "TIE_BREAKS",

@@ -845,6 +845,12 @@ class MpmdExecutor:
         mp_shm_threshold: ``engine="mp"`` only — ndarray payload size (in
             bytes) at which point-to-point transfers switch from inline
             pickling to shared-memory segments.
+        mp_pool: ``engine="mp"`` only — a warm
+            :class:`~repro.runtime.pool.ActorPool` to submit steps to
+            instead of spawning a fresh process mesh per
+            :meth:`execute` (the pool's watchdog / shm settings apply).
+        mp_program_key: advisory cache-key prefix for the pool's
+            worker-side program cache (diagnostics only).
     """
 
     def __init__(
@@ -856,6 +862,8 @@ class MpmdExecutor:
         tie_break: str = "fifo",
         mp_watchdog_s: float | None = None,
         mp_shm_threshold: int | None = None,
+        mp_pool: Any = None,
+        mp_program_key: str | None = None,
     ):
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -868,6 +876,14 @@ class MpmdExecutor:
                 "engine='mp' measures real wall-clock time; virtual cost "
                 "models only apply to the in-process engines"
             )
+        if mp_pool is not None:
+            if engine != "mp":
+                raise ValueError("mp_pool requires engine='mp'")
+            if mp_pool.n_actors != n_actors:
+                raise ValueError(
+                    f"mp_pool has {mp_pool.n_actors} actors, executor needs "
+                    f"{n_actors}"
+                )
         self.n_actors = n_actors
         self.cost = cost_model or ZeroCost()
         self.comm_mode = comm_mode
@@ -875,6 +891,8 @@ class MpmdExecutor:
         self.tie_break = tie_break
         self.mp_watchdog_s = mp_watchdog_s
         self.mp_shm_threshold = mp_shm_threshold
+        self.mp_pool = mp_pool
+        self.mp_program_key = mp_program_key
         self.stores = [ObjectStore(i) for i in range(n_actors)]
 
     # -- store management (driver-facing) -------------------------------------
@@ -931,6 +949,17 @@ class MpmdExecutor:
         if len(programs) != self.n_actors:
             raise ValueError(f"expected {self.n_actors} programs, got {len(programs)}")
         if self.engine == "mp":
+            if self.mp_pool is not None:
+                # persistent path: submit to the warm mesh and wait — the
+                # one-step one-result contract of this method is preserved,
+                # but the process spawn/teardown is amortised pool-wide
+                future = self.mp_pool.submit(
+                    programs,
+                    self.stores,
+                    comm_mode=self.comm_mode,
+                    program_key=self.mp_program_key,
+                )
+                return future.result()
             from repro.runtime import mp as _mp_backend
 
             kw: dict = {}

@@ -65,6 +65,14 @@ concurrent execution.
 Requirements: per-actor programs must be pickle-clean (the compiler's
 payload contract, ``tests/core/test_pickle.py``); virtual cost models do
 not apply (time is measured, not simulated).
+
+This module is the *one-shot* driver: :func:`execute_mp` spawns the
+mesh, runs a single step, and tears everything down — correct, but ~139×
+per-step overhead on small workloads.  The persistent sibling,
+:class:`repro.runtime.pool.ActorPool`, keeps the same worker loop
+(:class:`_Worker` is reused verbatim through queue-routing shims) alive
+across a *stream* of step submissions; shared-memory segments are
+accounted per submission there, not per process death.
 """
 
 from __future__ import annotations
@@ -786,7 +794,20 @@ def _drive(procs, ctrl, data_qs, stores, watchdog_s, n) -> ExecutionResult:
         else:  # pragma: no cover - future-proofing
             raise RuntimeError(f"unknown control message {msg!r}")
 
-    # -- merge ---------------------------------------------------------------
+    return _merge_results(results, stores, n)
+
+
+def _merge_results(
+    results: dict[int, dict], stores: Sequence[ObjectStore], n: int
+) -> ExecutionResult:
+    """Merge per-worker reports into one :class:`ExecutionResult`.
+
+    New live buffers (and the peak-memory statistic) land back in the
+    driver-side ``stores``; the wall-clock timeline is rebased to the
+    first executed instruction.  Shared by the one-shot driver above and
+    the persistent :class:`~repro.runtime.pool.ActorPool`, which calls
+    this once per completed submission.
+    """
     timeline: list[TimelineEvent] = []
     wait_profile: dict[str, WaitStat] = {}
     actor_finish = [0.0] * n
@@ -838,10 +859,18 @@ def _drive(procs, ctrl, data_qs, stores, watchdog_s, n) -> ExecutionResult:
 
 
 def _raise_deadlock(procs, states, pcs, results, watchdog_s) -> None:
+    stuck = [rank for rank in range(len(procs)) if rank not in results]
+    raise _deadlock_error(stuck, range(len(procs)), states, pcs, watchdog_s)
+
+
+def _deadlock_error(
+    stuck_ranks, all_ranks, states, pcs, watchdog_s, context: str = "mp run"
+) -> DeadlockError:
+    """Build the watchdog diagnostic: one line per stuck actor (its last
+    program counter and blocked resource) plus the aggregated counters.
+    Shared by the one-shot driver and the persistent pool."""
     lines = []
-    for rank, p in enumerate(procs):
-        if rank in results:
-            continue
+    for rank in stuck_ranks:
         pc = pcs.get(rank, "?")
         if rank in states:
             _, note, label = states[rank]
@@ -852,10 +881,10 @@ def _raise_deadlock(procs, states, pcs, results, watchdog_s) -> None:
         else:
             lines.append(f"  actor {rank} stuck at [{pc}]: no wait reported")
     counters = ", ".join(
-        f"{rank}: pc={pcs.get(rank, '?')}" for rank in range(len(procs))
+        f"{rank}: pc={pcs.get(rank, '?')}" for rank in all_ranks
     )
-    raise DeadlockError(
-        f"mp run made no progress for {watchdog_s:.1f}s "
+    return DeadlockError(
+        f"{context} made no progress for {watchdog_s:.1f}s "
         "(watchdog expired; workers terminated):\n"
         + "\n".join(lines)
         + f"\naggregated per-actor program counters: {{{counters}}}"

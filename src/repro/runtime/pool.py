@@ -1,0 +1,898 @@
+"""Persistent multi-process actor pool: a warm mesh serving step streams.
+
+:func:`repro.runtime.mp.execute_mp` is the one-shot driver — it spawns
+the process mesh, pickles every program across, runs one step, and tears
+everything down, which costs ~139× the useful work on small steps
+(``BENCH_mp.json``).  The paper's runtime (and its PipeDream-style
+lineage) assumes *long-lived* actors that amortise that setup across
+thousands of steps.  :class:`ActorPool` is that runtime:
+
+- **Spawn once.**  ``ActorPool(n)`` starts one spawn-context OS process
+  per rank at construction and keeps it alive until :meth:`shutdown`.
+  All IPC plumbing — one inbox queue per rank plus a control queue back
+  to the driver — is created up front and lives for the pool's lifetime.
+
+- **Ship once.**  A program set is pickled to the workers a single time
+  and cached worker-side under a program key; every later submission of
+  the same programs sends only the key (:attr:`ship_count` counts actual
+  shipments, so tests can assert the cache hit).  Many independent
+  compiled steps multiplex one warm mesh.
+
+- **Step stream.**  :meth:`submit` enqueues a step — per-rank input
+  buffers plus the program key — and returns a :class:`PoolFuture`
+  immediately.  Workers execute submissions in FIFO order but are not
+  barrier-synchronised across ranks: rank 0 can start step N+1's program
+  (warmup) while rank P-1 is still finishing step N (cooldown), because
+  cross-step messages queue behind cross-rank FIFO order exactly like
+  cross-microbatch messages do within a step.
+
+- **Backpressure.**  At most ``max_inflight`` submissions may be
+  outstanding; beyond that :meth:`submit` blocks (or raises
+  :class:`PoolBackpressureTimeout` when a ``timeout`` is given), so a
+  fast producer cannot queue unbounded pickled work.
+
+- **Pool-lifetime watchdog.**  The no-progress watchdog only arms while
+  submissions are outstanding — an *idle* pool never trips it, however
+  long it sits warm.  A genuinely stuck submission fails every pending
+  future with the same ``DeadlockError`` diagnostic as the one-shot
+  driver (per-actor program counters + blocked resources).
+
+- **Crash detection.**  A worker that dies (``kill -9``, OOM, a bug)
+  fails all pending futures with a diagnostic naming the actor and exit
+  code instead of hanging the driver; the pool is then dead and a fresh
+  one must be spawned (``RemoteMesh`` does this automatically).
+
+- **Per-submission shm accounting.**  Large tensors still travel through
+  ``multiprocessing.shared_memory`` segments, but every segment is
+  consumed within its own submission — inputs when the worker starts the
+  step, in-flight transfers by the pairwise-matching drain, results when
+  the driver merges — so a long-lived pool returns to its segment
+  baseline after every step.  Only an abnormal stop (crash, deadlock,
+  forced shutdown) runs the bulk drain-and-unlink reclaim.
+
+Message routing
+===============
+
+The one-shot backend allocates one queue per *directed rank pair*, which
+only works because the pair set is known from the programs before spawn.
+A pool must run programs it has never seen, so each worker instead owns a
+single **inbox** queue; every message carries a route key — ``("data",
+src)``, ``("ack", from)``, ``("gather", group)``, ``("cmd",)``, … — and a
+tiny demultiplexer (:class:`_Inbox`) buffers out-of-route messages until
+someone asks for them.  Per-route FIFO order is preserved because each
+producer's puts are FIFO and routes never share a producer stream.  Thin
+shims re-expose the ``put``/``get``/``wait`` surfaces the one-shot
+:class:`~repro.runtime.mp._Worker` expects, so the instruction
+interpreter — and therefore bit-identical semantics — is reused verbatim,
+including the queue-emulated barrier that serialises collectives per
+group.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+import time
+import traceback
+import weakref
+from collections import deque
+from typing import Any, Sequence
+
+import multiprocessing as _mp
+
+from repro.runtime.executor import (
+    CommMismatchError,
+    CommMode,
+    ExecutionResult,
+)
+from repro.runtime.instructions import BufferRef, Instruction
+from repro.runtime.mp import (
+    DEFAULT_SHM_THRESHOLD,
+    DEFAULT_WATCHDOG_S,
+    _HEARTBEAT_S,
+    _SPAWN_GRACE_S,
+    _Worker,
+    _WorkerSpec,
+    _WorkerStop,
+    _deadlock_error,
+    _decode_payload,
+    _encode_payload,
+    _merge_results,
+    _reclaim_in_flight,
+)
+from repro.runtime.store import ObjectStore
+
+__all__ = [
+    "ActorPool",
+    "PoolFuture",
+    "PoolBackpressureTimeout",
+    "DEFAULT_MAX_INFLIGHT",
+]
+
+#: default bound on outstanding submissions before ``submit`` blocks.
+DEFAULT_MAX_INFLIGHT = 4
+
+#: driver-thread control-queue poll period (watchdog / liveness cadence).
+_POLL_S = 0.2
+
+#: route key for driver -> worker commands on the inbox.
+_CMD = ("cmd",)
+
+
+class PoolBackpressureTimeout(TimeoutError):
+    """``submit(timeout=...)`` could not get a submission slot in time."""
+
+
+# ---------------------------------------------------------------------------
+# worker side: inbox demultiplexer + queue shims
+# ---------------------------------------------------------------------------
+
+
+class _Inbox:
+    """Demultiplexes one worker's inbox queue into per-route streams.
+
+    ``get(route)`` blocks for the next message on ``route``; anything
+    else that arrives meanwhile is buffered (per route, FIFO) until its
+    consumer asks.  This is what lets one queue per rank replace one
+    queue per directed pair without losing the pairwise-FIFO contract.
+    """
+
+    def __init__(self, q):
+        self.q = q
+        self.buf: dict[tuple, deque] = {}
+
+    def get(self, route: tuple):
+        d = self.buf.get(route)
+        if d:
+            return d.popleft()
+        while True:
+            r, msg = self.q.get()
+            if r == route:
+                return msg
+            self.buf.setdefault(r, deque()).append(msg)
+
+
+class _RoutePut:
+    """``put`` surface: wraps messages with a route key for a peer inbox."""
+
+    __slots__ = ("q", "route")
+
+    def __init__(self, q, route):
+        self.q = q
+        self.route = route
+
+    def put(self, msg) -> None:
+        self.q.put((self.route, msg))
+
+
+class _RouteGet:
+    """``get`` surface: one route of the local inbox."""
+
+    __slots__ = ("inbox", "route")
+
+    def __init__(self, inbox: _Inbox, route):
+        self.inbox = inbox
+        self.route = route
+
+    def get(self):
+        return self.inbox.get(self.route)
+
+
+class _Duplex:
+    """Queue shim with both ends: ``put`` targets a peer inbox route,
+    ``get`` reads the same route off the local inbox (gather/result
+    queues of the collective protocol)."""
+
+    __slots__ = ("put_q", "route", "inbox")
+
+    def __init__(self, put_q, route, inbox: _Inbox):
+        self.put_q = put_q
+        self.route = route
+        self.inbox = inbox
+
+    def put(self, msg) -> None:
+        self.put_q.put((self.route, msg))
+
+    def get(self):
+        return self.inbox.get(self.route)
+
+
+class _QueueBarrier:
+    """``Barrier.wait`` emulated over the inbox queues.
+
+    The one-shot backend hands each collective group a real
+    ``mp.Barrier``, which must be allocated before spawn — impossible for
+    a pool that learns its groups from later programs.  Rendezvous
+    instead funnels through the group root: members send an arrive
+    message (tagged with a generation counter), the root releases them
+    once all have arrived.  The generation stash keeps back-to-back
+    barriers of the same group from stealing each other's arrivals; the
+    serialising property the collective protocol relies on is preserved
+    because no member can reach barrier ``g+1`` before the root finished
+    collective ``g``.
+    """
+
+    def __init__(self, rank: int, group: tuple, inbox: _Inbox, peers):
+        self.rank = rank
+        self.group = group
+        self.root = group[0]
+        self.inbox = inbox
+        self.peers = peers
+        self.gen = 0
+        self._early: dict[int, int] = {}  # root: arrivals for future gens
+
+    def wait(self) -> None:
+        gen = self.gen
+        self.gen += 1
+        arrive = ("barrier", self.group)
+        release = ("barrier-go", self.group)
+        if self.rank == self.root:
+            need = len(self.group) - 1
+            have = self._early.pop(gen, 0)
+            while have < need:
+                g = self.inbox.get(arrive)
+                if g == gen:
+                    have += 1
+                else:
+                    self._early[g] = self._early.get(g, 0) + 1
+            for r in self.group:
+                if r != self.root:
+                    self.peers[r].put((release, gen))
+        else:
+            self.peers[self.root].put((arrive, gen))
+            g = self.inbox.get(release)
+            if g != gen:  # pragma: no cover - releases are FIFO from root
+                raise RuntimeError(
+                    f"barrier generation skew in group {self.group}: "
+                    f"rank {self.rank} at {gen} got release {g}"
+                )
+
+
+class _CollMap(dict):
+    """Lazily builds collective plumbing for any group a program uses."""
+
+    def __init__(self, rank: int, inbox: _Inbox, peers):
+        super().__init__()
+        self.rank = rank
+        self.inbox = inbox
+        self.peers = peers
+
+    def __missing__(self, group):
+        root = group[0]
+        barrier = _QueueBarrier(self.rank, group, self.inbox, self.peers)
+        gather_q = _Duplex(self.peers[root], ("gather", group), self.inbox)
+        result_qs = {
+            r: _Duplex(self.peers[r], ("collres", group), self.inbox)
+            for r in group
+            if r != root
+        }
+        value = (barrier, gather_q, result_qs)
+        self[group] = value
+        return value
+
+
+class _SubCtrl:
+    """Control-queue shim tagging every report with its submission id."""
+
+    __slots__ = ("q", "sid")
+
+    def __init__(self, q, sid: int):
+        self.q = q
+        self.sid = sid
+
+    def put(self, msg) -> None:
+        self.q.put(("sub", self.sid, msg))
+
+
+def _pool_worker_main(rank: int, n: int, inboxes, ctrl) -> None:
+    """Spawn entry point: serve ship/run commands until shutdown.
+
+    One :class:`~repro.runtime.mp._Worker` is built per *run* (fresh
+    object store, fresh posted-receive state) over worker-lifetime queue
+    shims, so cross-step channel order is exactly the concatenation of
+    the per-step orders.
+    """
+    sid = -1
+    try:
+        inbox = _Inbox(inboxes[rank])
+        peers = dict(enumerate(inboxes))
+        send_qs = {d: _RoutePut(peers[d], ("data", rank)) for d in range(n) if d != rank}
+        recv_qs = {s: _RouteGet(inbox, ("data", s)) for s in range(n) if s != rank}
+        # this worker acks a transfer TO its sender; it awaits acks FROM
+        # the destinations of its own sends
+        ack_send = {s: _RoutePut(peers[s], ("ack", rank)) for s in range(n) if s != rank}
+        ack_wait = {d: _RouteGet(inbox, ("ack", d)) for d in range(n) if d != rank}
+        coll = _CollMap(rank, inbox, peers)
+        programs: dict[str, list[Instruction]] = {}
+        ctrl.put(("hello", rank))
+        while True:
+            cmd = inbox.get(_CMD)
+            kind = cmd[0]
+            if kind == "shutdown":
+                ctrl.put(("bye", rank))
+                return
+            if kind == "ship":
+                _, key, program = cmd
+                programs[key] = program
+                continue
+            if kind != "run":  # pragma: no cover - future-proofing
+                raise RuntimeError(f"unknown pool command {cmd!r}")
+            _, sid, key, enc_buffers, comm_mode, shm_threshold, epoch = cmd
+            sub_ctrl = _SubCtrl(ctrl, sid)
+            program = programs.get(key)
+            if program is None:
+                sub_ctrl.put(
+                    ("error", rank, -1, "protocol",
+                     f"program {key!r} was never shipped to actor {rank}")
+                )
+                return
+            buffers = {
+                uid: (_decode_payload(payload), nbytes, pinned)
+                for uid, (payload, nbytes, pinned) in enc_buffers.items()
+            }
+            spec = _WorkerSpec(
+                rank=rank,
+                program=program,
+                buffers=buffers,
+                comm_mode=comm_mode,
+                shm_threshold=shm_threshold,
+                epoch=epoch,
+            )
+            worker = _Worker(
+                spec, send_qs, recv_qs, ack_wait, ack_send, coll, sub_ctrl
+            )
+            result = worker.run()
+            sub_ctrl.put(("done", rank, result))
+    except _WorkerStop:
+        pass  # error already reported; the pool is dead
+    except BaseException:
+        try:
+            ctrl.put(
+                ("sub", sid, ("error", rank, -1, "exception", traceback.format_exc()))
+            )
+        except Exception:  # pragma: no cover - ctrl queue gone
+            pass
+
+
+# ---------------------------------------------------------------------------
+# driver side
+# ---------------------------------------------------------------------------
+
+
+class PoolFuture:
+    """Handle to one submitted step.
+
+    ``result()`` blocks for the merged
+    :class:`~repro.runtime.executor.ExecutionResult` (or re-raises the
+    submission's failure).  ``stores`` are the driver-side object stores
+    the result's new buffers were merged into.
+    """
+
+    def __init__(self, sub_id: int, stores: Sequence[ObjectStore]):
+        self.sub_id = sub_id
+        self.stores = stores
+        self._event = threading.Event()
+        self._result: ExecutionResult | None = None
+        self._exc: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> ExecutionResult:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"pool submission {self.sub_id} not done after {timeout}s"
+            )
+        if self._exc is not None:
+            raise self._exc
+        assert self._result is not None
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"pool submission {self.sub_id} not done after {timeout}s"
+            )
+        return self._exc
+
+    def _finish(self, result=None, exc=None) -> None:
+        if self._event.is_set():  # pragma: no cover - double completion
+            return
+        self._result = result
+        self._exc = exc
+        self._event.set()
+
+
+class _Submission:
+    __slots__ = ("sid", "stores", "future", "results")
+
+    def __init__(self, sid: int, stores, future: PoolFuture):
+        self.sid = sid
+        self.stores = stores
+        self.future = future
+        self.results: dict[int, dict] = {}
+
+
+def _terminate_procs(procs) -> None:
+    for p in procs:
+        try:
+            if p.is_alive():
+                p.terminate()
+        except Exception:  # pragma: no cover - already reaped
+            pass
+    for p in procs:
+        try:
+            p.join(timeout=5.0)
+            if p.is_alive():
+                p.kill()
+                p.join(timeout=5.0)
+        except Exception:  # pragma: no cover - already reaped
+            pass
+
+
+def _cleanup_queues(queues) -> None:
+    """Reclaim in-flight shm payloads, then drop the queues' feeder
+    threads.  Bounded: the drain runs in a daemon thread (a message
+    truncated by terminate() can wedge a queue read) and closing the
+    queues unsticks it."""
+    drain = threading.Thread(
+        target=_reclaim_in_flight, args=(list(queues),), daemon=True
+    )
+    drain.start()
+    drain.join(timeout=5.0)
+    for q in queues:
+        try:
+            q.close()
+            q.cancel_join_thread()
+        except Exception:  # pragma: no cover - already closed
+            pass
+
+
+def _pool_drive(pool_ref) -> None:
+    """Driver-thread loop, holding the pool only weakly so an abandoned
+    pool can be garbage-collected (its finalizer then reaps the worker
+    processes and this loop exits)."""
+    while True:
+        pool = pool_ref()
+        if pool is None or pool._stop.is_set():
+            return
+        try:
+            fatal = pool._drive_once()
+        except Exception:  # pragma: no cover - defensive: never kill silently
+            fatal = True
+            try:
+                pool._fail(RuntimeError(
+                    "mp pool driver thread crashed:\n" + traceback.format_exc()
+                ))
+            except Exception:
+                pass
+        if fatal:
+            return
+        del pool  # drop the strong ref before sleeping in get()
+
+
+class ActorPool:
+    """A warm mesh of per-rank actor processes serving step submissions.
+
+    Args:
+        n_actors: ranks in the mesh (one OS process each, spawned now).
+        comm_mode: default point-to-point semantics for submissions.
+        watchdog_s: no-progress window while submissions are outstanding
+            (an idle pool never trips it); clamped to at least two worker
+            heartbeat periods like the one-shot driver.
+        shm_threshold: ndarray bytes at which payloads (inputs, transfers
+            and results) switch to shared-memory segments.
+        max_inflight: bound on outstanding submissions — ``submit``
+            blocks (or times out) beyond it.
+
+    A pool that failed (deadlock, worker death, protocol error) is dead:
+    every pending future carries the failure and later ``submit`` calls
+    raise.  Spawn a new pool to continue —
+    :class:`~repro.core.api.RemoteMesh` does so automatically.
+    """
+
+    def __init__(
+        self,
+        n_actors: int,
+        *,
+        comm_mode: CommMode = CommMode.ASYNC,
+        watchdog_s: float | None = None,
+        shm_threshold: int | None = None,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    ):
+        n_actors = int(n_actors)
+        if n_actors < 1:
+            raise ValueError(f"n_actors must be >= 1, got {n_actors}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.n_actors = n_actors
+        self.comm_mode = comm_mode
+        self.watchdog_s = max(
+            DEFAULT_WATCHDOG_S if watchdog_s is None else float(watchdog_s),
+            2.0 * _HEARTBEAT_S,
+        )
+        self.shm_threshold = int(
+            DEFAULT_SHM_THRESHOLD if shm_threshold is None else shm_threshold
+        )
+        self.max_inflight = int(max_inflight)
+
+        # -- submission state (driver + submitter threads, under _lock) --
+        self._lock = threading.RLock()
+        self._slots = threading.Semaphore(self.max_inflight)
+        self._subs: dict[int, _Submission] = {}
+        self._next_sid = 0
+        self._failure: BaseException | None = None
+        self._closing = False
+        self._closed = False
+        self._stop = threading.Event()
+
+        # -- program cache bookkeeping (driver side) --
+        # id(programs) -> (key, strong ref); the strong ref pins the list
+        # so a recycled id can never alias a different program set
+        self._program_keys: dict[int, tuple[str, Any]] = {}
+        #: distinct program sets actually pickled to the workers — a
+        #: resubmission that hits the worker-side cache does not bump it.
+        self.ship_count = 0
+        #: total submissions accepted over the pool's lifetime.
+        self.submit_count = 0
+
+        # -- watchdog / diagnostics (driver thread only) --
+        self._hello: set[int] = set()
+        self._states: dict[int, tuple[int, str, str]] = {}
+        self._pcs: dict[int, int] = {}
+        self._last_progress = time.monotonic()
+
+        # -- processes & queues --
+        ctx = _mp.get_context("spawn")
+        self._inboxes = [ctx.Queue() for _ in range(n_actors)]
+        self._ctrl = ctx.Queue()
+        self._procs = []
+        for rank in range(n_actors):
+            p = ctx.Process(
+                target=_pool_worker_main,
+                args=(rank, n_actors, list(self._inboxes), self._ctrl),
+                name=f"mpmd-pool-actor-{rank}",
+                daemon=True,
+            )
+            p.start()
+            self._procs.append(p)
+
+        self._driver = threading.Thread(
+            target=_pool_drive, args=(weakref.ref(self),),
+            name="mpmd-pool-driver", daemon=True,
+        )
+        self._driver.start()
+        # reap the workers if the pool is dropped without shutdown()
+        self._finalizer = weakref.finalize(
+            self, _pool_finalize, list(self._procs),
+            [*self._inboxes, self._ctrl],
+        )
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def pids(self) -> list[int]:
+        """Worker process ids, by rank (chaos tests kill these)."""
+        return [p.pid for p in self._procs]
+
+    @property
+    def inflight(self) -> int:
+        """Submissions accepted but not yet completed."""
+        with self._lock:
+            return len(self._subs)
+
+    @property
+    def closed(self) -> bool:
+        """True once the pool can no longer accept submissions."""
+        return self._closed or self._closing or self._failure is not None
+
+    def alive(self) -> bool:
+        """All workers running and the pool accepting submissions."""
+        return not self.closed and all(p.is_alive() for p in self._procs)
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"{self.inflight} in flight"
+        return f"ActorPool(n_actors={self.n_actors}, {state})"
+
+    # -- submission --------------------------------------------------------
+    def submit(
+        self,
+        programs: Sequence[Sequence[Instruction]],
+        stores: Sequence[ObjectStore] | None = None,
+        *,
+        comm_mode: CommMode | None = None,
+        program_key: str | None = None,
+        timeout: float | None = None,
+    ) -> PoolFuture:
+        """Enqueue one step on the warm mesh; returns immediately.
+
+        Args:
+            programs: one instruction stream per rank.  The same *object*
+                submitted again hits the worker-side program cache (no
+                re-pickle); distinct objects are shipped under fresh keys.
+            stores: driver-side object stores holding the placed inputs
+                (fresh ones are created when omitted — read them back via
+                ``future.stores``).  New live buffers merge into them when
+                the step completes, exactly like the one-shot driver.
+            comm_mode: per-submission override of the pool default.
+            program_key: readable prefix for the program's cache key
+                (diagnostics only; identity still keys the cache).
+            timeout: backpressure bound — with ``max_inflight``
+                submissions outstanding, wait at most this long for a
+                slot before raising :class:`PoolBackpressureTimeout`
+                (``None`` blocks).
+
+        Raises:
+            RuntimeError: the pool is shut down or died (worker crash,
+                deadlock, protocol error — the cause is embedded).
+            PoolBackpressureTimeout: no submission slot within ``timeout``.
+        """
+        if len(programs) != self.n_actors:
+            raise ValueError(
+                f"expected {self.n_actors} programs, got {len(programs)}"
+            )
+        self._check_accepting()
+        if not self._slots.acquire(timeout=timeout):
+            raise PoolBackpressureTimeout(
+                f"submission queue full ({self.max_inflight} in flight; "
+                f"no slot freed within {timeout}s)"
+            )
+        try:
+            with self._lock:
+                self._check_accepting()
+                if stores is None:
+                    stores = [ObjectStore(i) for i in range(self.n_actors)]
+                elif len(stores) != self.n_actors:
+                    raise ValueError(
+                        f"expected {self.n_actors} stores, got {len(stores)}"
+                    )
+                key = self._ensure_shipped(programs, program_key)
+                sid = self._next_sid
+                self._next_sid += 1
+                future = PoolFuture(sid, stores)
+                self._subs[sid] = _Submission(sid, stores, future)
+                self.submit_count += 1
+                self._last_progress = time.monotonic()
+                cm = self.comm_mode if comm_mode is None else comm_mode
+                epoch = time.monotonic()
+                for rank in range(self.n_actors):
+                    store = stores[rank]
+                    buffers = {}
+                    for uid in store.live_refs():
+                        buf = store.get(BufferRef(uid))
+                        buffers[uid] = (
+                            _encode_payload(buf.value, self.shm_threshold),
+                            buf.nbytes,
+                            buf.pinned,
+                        )
+                    self._inboxes[rank].put(
+                        (_CMD,
+                         ("run", sid, key, buffers, cm, self.shm_threshold, epoch))
+                    )
+            return future
+        except BaseException:
+            self._slots.release()
+            raise
+
+    def _check_accepting(self) -> None:
+        if self._failure is not None:
+            raise RuntimeError(
+                f"ActorPool is dead ({self._failure}); spawn a new pool"
+            )
+        if self._closing or self._closed:
+            raise RuntimeError("ActorPool is shut down; spawn a new pool")
+
+    def _ensure_shipped(self, programs, program_key: str | None) -> str:
+        """Ship ``programs`` to every worker unless already cached there."""
+        pid = id(programs)
+        entry = self._program_keys.get(pid)
+        if entry is not None:
+            return entry[0]
+        base = "prog" if program_key is None else str(program_key)
+        key = f"{base}#{self.ship_count}"
+        # the strong reference pins the object so its id stays unique
+        self._program_keys[pid] = (key, programs)
+        self.ship_count += 1
+        for rank in range(self.n_actors):
+            self._inboxes[rank].put((_CMD, ("ship", key, list(programs[rank]))))
+        return key
+
+    # -- driver thread -----------------------------------------------------
+    def _drive_once(self) -> bool:
+        """One control-queue poll; returns True when the pool is finished
+        (failed or stopped) and the driver thread should exit."""
+        try:
+            msg = self._ctrl.get(timeout=_POLL_S)
+        except _queue.Empty:
+            if self._maybe_fail_dead_worker():
+                return True
+            return self._maybe_fail_watchdog()
+        except (OSError, ValueError):  # queues closed under us: shutdown
+            return True
+        return self._dispatch(msg)
+
+    def _dispatch(self, msg) -> bool:
+        self._last_progress = time.monotonic()
+        kind = msg[0]
+        if kind == "hello":
+            self._hello.add(msg[1])
+        elif kind == "bye":
+            pass  # graceful exit; shutdown() joins the process
+        elif kind == "sub":
+            _, sid, inner = msg
+            return self._handle_sub(sid, inner)
+        else:  # pragma: no cover - future-proofing
+            self._fail(RuntimeError(f"unknown pool control message {msg!r}"))
+            return True
+        return False
+
+    def _handle_sub(self, sid: int, inner) -> bool:
+        kind = inner[0]
+        if kind == "hb":
+            _, rank, pc = inner
+            self._pcs[rank] = pc
+            # clear a recorded wait only when the worker demonstrably
+            # moved past it (same stale-heartbeat race as the one-shot
+            # driver)
+            st = self._states.get(rank)
+            if st is not None and st[0] != pc:
+                self._states.pop(rank, None)
+        elif kind == "wait":
+            _, rank, pc, note, label = inner
+            self._pcs[rank] = pc
+            self._states[rank] = (pc, note, label)
+        elif kind == "done":
+            _, rank, result = inner
+            self._pcs[rank] = result["pc"]
+            self._states.pop(rank, None)
+            completed = None
+            with self._lock:
+                sub = self._subs.get(sid)
+                if sub is not None:
+                    sub.results[rank] = result
+                    if len(sub.results) == self.n_actors:
+                        completed = self._subs.pop(sid)
+            if completed is not None:
+                try:
+                    merged = _merge_results(
+                        completed.results, completed.stores, self.n_actors
+                    )
+                except BaseException as e:
+                    self._fail(e)
+                    return True
+                completed.future._finish(result=merged)
+                self._slots.release()
+        elif kind == "error":
+            _, rank, pc, err_kind, text = inner
+            if err_kind == "mismatch":
+                exc: BaseException = CommMismatchError(text)
+            else:
+                exc = RuntimeError(
+                    f"mp pool worker for actor {rank} failed at [{pc}]:\n{text}"
+                )
+            self._fail(exc)
+            return True
+        return False
+
+    def _maybe_fail_dead_worker(self) -> bool:
+        """A dead worker is always fatal for a pool (workers only exit on
+        shutdown) — but give its final error report a beat to surface."""
+        if self._closing or self._closed or self._failure is not None:
+            return False
+        dead = [r for r, p in enumerate(self._procs) if not p.is_alive()]
+        if not dead:
+            return False
+        deadline = time.monotonic() + 1.0
+        while time.monotonic() < deadline:
+            try:
+                msg = self._ctrl.get(timeout=0.1)
+            except (_queue.Empty, OSError, ValueError):
+                break
+            if self._dispatch(msg):
+                return True  # the worker's own error report won the race
+        p = self._procs[dead[0]]
+        self._fail(RuntimeError(
+            f"mp pool worker for actor {dead[0]} died without reporting "
+            f"(exitcode {p.exitcode}); pending submissions failed"
+        ))
+        return True
+
+    def _maybe_fail_watchdog(self) -> bool:
+        with self._lock:
+            outstanding = list(self._subs.values())
+        if not outstanding or self._closing or self._failure is not None:
+            return False
+        grace = (
+            self.watchdog_s
+            if len(self._hello) == self.n_actors
+            else max(self.watchdog_s, _SPAWN_GRACE_S)
+        )
+        if time.monotonic() - self._last_progress <= grace:
+            return False
+        stuck = [
+            r for r in range(self.n_actors)
+            if any(r not in s.results for s in outstanding)
+        ]
+        self._fail(_deadlock_error(
+            stuck, range(self.n_actors), self._states, self._pcs,
+            self.watchdog_s, context="mp pool",
+        ))
+        return True
+
+    # -- failure & shutdown ------------------------------------------------
+    def _fail(self, exc: BaseException) -> None:
+        """Pool-fatal: fail every pending future, reap the workers,
+        reclaim in-flight shared memory.  Idempotent."""
+        with self._lock:
+            if self._failure is not None or self._closed:
+                return
+            self._failure = exc
+            pending = list(self._subs.values())
+            self._subs.clear()
+        for sub in pending:
+            sub.future._finish(exc=exc)
+            self._slots.release()
+        _terminate_procs(self._procs)
+        _cleanup_queues([*self._inboxes, self._ctrl])
+        self._stop.set()
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Gracefully stop the pool.
+
+        Pending submissions run to completion first (the shutdown command
+        queues behind them in each worker's inbox); workers then exit,
+        processes are joined (terminated past ``timeout``), and the
+        queues are drained and closed.  Idempotent, and safe to call on a
+        pool that already died.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            already_dead = self._failure is not None
+            self._closing = True
+            if not already_dead:
+                for q in self._inboxes:
+                    try:
+                        q.put((_CMD, ("shutdown",)))
+                    except (OSError, ValueError):  # pragma: no cover
+                        pass
+        if not already_dead:
+            deadline = time.monotonic() + timeout
+            for p in self._procs:
+                p.join(timeout=max(0.0, deadline - time.monotonic()))
+            _terminate_procs(self._procs)
+            # let the driver thread finish merging any final done reports
+            quiet = time.monotonic() + 5.0
+            while time.monotonic() < quiet:
+                with self._lock:
+                    if not self._subs:
+                        break
+                time.sleep(0.05)
+        self._stop.set()
+        if threading.current_thread() is not self._driver:
+            self._driver.join(timeout=5.0)
+        with self._lock:
+            leftover = list(self._subs.values())
+            self._subs.clear()
+            self._closed = True
+        if leftover:  # pragma: no cover - workers wedged during shutdown
+            exc = RuntimeError("ActorPool was shut down before completion")
+            for sub in leftover:
+                sub.future._finish(exc=exc)
+                self._slots.release()
+        _cleanup_queues([*self._inboxes, self._ctrl])
+        self._finalizer.detach()
+
+    close = shutdown
+
+    def __enter__(self) -> "ActorPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+
+def _pool_finalize(procs, queues) -> None:
+    """GC fallback for a pool dropped without shutdown(): reap the
+    workers and reclaim whatever shared memory was still in flight."""
+    _terminate_procs(procs)
+    _cleanup_queues(queues)

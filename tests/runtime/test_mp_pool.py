@@ -1,0 +1,249 @@
+"""Differential suite: the persistent mp actor pool vs cold mp vs event.
+
+``mp_persistent=True`` (the ``engine="mp"`` default since the pool
+landed) must change *performance only*: results stay bit-identical to
+the in-process event engine for every schedule, and a multi-step
+training loop through one warm pool produces exactly what the same loop
+produces through cold spawn-per-step meshes.  Every test runs under a
+hard SIGALRM timeout so a pool regression can never wedge CI (the same
+guard as ``test_mp_equivalence.py``; pytest-timeout is not in the
+image).
+
+The tier-1 lane runs the small gallery subset plus a short cold-vs-warm
+loop (cold spawns cost real seconds per step); the full 10-schedule
+sweep and the 20-step loop of the issue carry the ``slow`` marker and
+run with the benchmarks lane.
+"""
+
+import signal
+
+import pytest
+
+from repro import core
+from repro.runtime import CommMode
+from tests.core.test_linear_backend import GALLERY, assert_bit_identical, make_problem
+
+HARD_TIMEOUT_S = 300
+
+#: far above any healthy schedule's silence, far below the SIGALRM cap.
+WATCHDOG_S = 60.0
+
+SUBSET = [s for s in GALLERY if s.name in ("1F1B", "ZB-H1", "Interleaved(v=2)")]
+
+
+@pytest.fixture(autouse=True)
+def hard_timeout():
+    def boom(signum, frame):  # pragma: no cover - only fires on regression
+        raise TimeoutError(
+            f"mp pool differential test exceeded the hard {HARD_TIMEOUT_S}s cap"
+        )
+
+    old = signal.signal(signal.SIGALRM, boom)
+    signal.alarm(HARD_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old)
+
+
+def _mesh(schedule, engine, **kw):
+    if engine == "mp":
+        kw.setdefault("mp_watchdog_s", WATCHDOG_S)
+    return core.RemoteMesh((schedule.n_actors,), engine=engine, **kw)
+
+
+class TestGalleryEquivalence:
+    @pytest.mark.parametrize("schedule", SUBSET, ids=lambda s: s.name)
+    def test_subset_bit_identical(self, schedule):
+        ts, params, batch = make_problem(4, n_mbs=8)
+        want = _mesh(schedule, "event").distributed(ts, schedule=schedule)(
+            params, batch
+        )
+        mesh = _mesh(schedule, "mp")
+        step = mesh.distributed(ts, schedule=schedule)
+        got = step(params, batch)
+        try:
+            assert_bit_identical(want, got)
+            assert step.last_result.engine == "mp"
+            assert mesh._mp_pool is not None and mesh._mp_pool.alive()
+        finally:
+            mesh.close()
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("schedule", GALLERY, ids=lambda s: s.name)
+    def test_full_gallery_bit_identical(self, schedule):
+        ts, params, batch = make_problem(4, n_mbs=8)
+        want = _mesh(schedule, "event").distributed(ts, schedule=schedule)(
+            params, batch
+        )
+        mesh = _mesh(schedule, "mp")
+        try:
+            got = mesh.distributed(ts, schedule=schedule)(params, batch)
+            assert_bit_identical(want, got)
+        finally:
+            mesh.close()
+
+    def test_shared_memory_transport_bit_identical(self):
+        """Forcing every payload — inputs, transfers, results — through
+        shared-memory segments changes the pool's transport, never the
+        data."""
+        schedule = core.OneFOneB(4)
+        ts, params, batch = make_problem(4, n_mbs=8)
+        want = _mesh(schedule, "event").distributed(ts, schedule=schedule)(
+            params, batch
+        )
+        mesh = _mesh(schedule, "mp", mp_shm_threshold=1)
+        try:
+            got = mesh.distributed(ts, schedule=schedule)(params, batch)
+            assert_bit_identical(want, got)
+        finally:
+            mesh.close()
+
+    def test_data_parallel_bit_identical(self):
+        """dp=2 on one pool exercises the queue-emulated barrier and the
+        routed gather/result collective plumbing (the pool cannot use the
+        one-shot backend's pre-spawned ``mp.Barrier``)."""
+        ts, params, batch = make_problem(2, n_mbs=4, mbsz=8)
+        want = core.RemoteMesh((2, 2)).distributed(
+            ts, schedule=core.OneFOneB(2)
+        )(params, batch)
+        mesh = core.RemoteMesh((2, 2), engine="mp", mp_watchdog_s=WATCHDOG_S)
+        try:
+            step = mesh.distributed(ts, schedule=core.OneFOneB(2))
+            # twice through the same pool: the barrier's generation
+            # counters must survive reuse
+            got = step(params, batch)
+            again = step(params, batch)
+            assert_bit_identical(want, got)
+            assert_bit_identical(want, again)
+        finally:
+            mesh.close()
+
+    @pytest.mark.slow
+    def test_sync_mode_bit_identical(self):
+        schedule = core.OneFOneB(4)
+        ts, params, batch = make_problem(4, n_mbs=8)
+        want = _mesh(schedule, "event", comm_mode=CommMode.SYNC).distributed(
+            ts, schedule=schedule
+        )(params, batch)
+        mesh = _mesh(schedule, "mp", comm_mode=CommMode.SYNC)
+        try:
+            got = mesh.distributed(ts, schedule=schedule)(params, batch)
+            assert_bit_identical(want, got)
+        finally:
+            mesh.close()
+
+
+def _loop(mesh, ts, params, batch, n_steps, schedule):
+    """A training loop: feed updated params back in, collect every loss."""
+    step = mesh.distributed(ts, schedule=schedule)
+    losses = []
+    for _ in range(n_steps):
+        params, loss = step(params, batch)
+        losses.append(loss)
+    return params, losses
+
+
+class TestTrainingLoop:
+    def test_loop_matches_cold_execute(self):
+        """A short training loop through one warm pool is bit-identical
+        to the same loop through cold spawn-per-step meshes (tier-1
+        miniature of the slow 20-step version — cold spawns cost ~2s per
+        step)."""
+        schedule = core.OneFOneB(4)
+        ts, params, batch = make_problem(4, n_mbs=8)
+        cold = core.RemoteMesh(
+            (4,), engine="mp", mp_persistent=False, mp_watchdog_s=WATCHDOG_S
+        )
+        want_p, want_l = _loop(cold, ts, params, batch, 3, schedule)
+        mesh = core.RemoteMesh((4,), engine="mp", mp_watchdog_s=WATCHDOG_S)
+        try:
+            got_p, got_l = _loop(mesh, ts, params, batch, 3, schedule)
+            assert mesh._mp_pool.submit_count == 3
+            assert mesh._mp_pool.ship_count == 1  # shipped once, reused twice
+            assert_bit_identical(want_p, got_p)
+            assert_bit_identical(want_l, got_l)
+        finally:
+            mesh.close()
+
+    def test_20_step_loop_matches_event(self):
+        """20 steps through one pool — one spawn, one ship, 20 warm
+        submissions — match the event engine's loop exactly."""
+        schedule = core.OneFOneB(4)
+        ts, params, batch = make_problem(4, n_mbs=8)
+        want_p, want_l = _loop(
+            core.RemoteMesh((4,)), ts, params, batch, 20, schedule
+        )
+        mesh = core.RemoteMesh((4,), engine="mp", mp_watchdog_s=WATCHDOG_S)
+        try:
+            got_p, got_l = _loop(mesh, ts, params, batch, 20, schedule)
+            assert mesh._mp_pool.submit_count == 20
+            assert mesh._mp_pool.ship_count == 1
+            assert_bit_identical(want_p, got_p)
+            assert_bit_identical(want_l, got_l)
+        finally:
+            mesh.close()
+
+    @pytest.mark.slow
+    def test_20_step_loop_matches_cold_execute(self):
+        """The issue's acceptance check verbatim: a 20-step training loop
+        through one pool matches 20 cold ``execute()`` calls exactly."""
+        schedule = core.OneFOneB(4)
+        ts, params, batch = make_problem(4, n_mbs=8)
+        cold = core.RemoteMesh(
+            (4,), engine="mp", mp_persistent=False, mp_watchdog_s=WATCHDOG_S
+        )
+        want_p, want_l = _loop(cold, ts, params, batch, 20, schedule)
+        mesh = core.RemoteMesh((4,), engine="mp", mp_watchdog_s=WATCHDOG_S)
+        try:
+            got_p, got_l = _loop(mesh, ts, params, batch, 20, schedule)
+            assert mesh._mp_pool.ship_count == 1
+            assert_bit_identical(want_p, got_p)
+            assert_bit_identical(want_l, got_l)
+        finally:
+            mesh.close()
+
+
+class TestWiring:
+    def test_persistent_is_default_and_opt_out(self):
+        mesh = core.RemoteMesh((2,), engine="mp")
+        assert mesh.mp_persistent is True
+        cold = core.RemoteMesh((2,), engine="mp", mp_persistent=False)
+        assert cold.mp_persistent is False
+
+    def test_cold_path_spawns_no_pool(self):
+        ts, params, batch = make_problem(2, n_mbs=4)
+        mesh = core.RemoteMesh(
+            (2,), engine="mp", mp_persistent=False, mp_watchdog_s=WATCHDOG_S
+        )
+        step = mesh.distributed(ts, schedule=core.OneFOneB(2))
+        step(params, batch)
+        assert mesh._mp_pool is None
+
+    def test_executor_rejects_pool_mismatches(self):
+        from repro.runtime import ActorPool, MpmdExecutor
+
+        pool = ActorPool(2, watchdog_s=WATCHDOG_S)
+        try:
+            with pytest.raises(ValueError, match="engine='mp'"):
+                MpmdExecutor(2, engine="event", mp_pool=pool)
+            with pytest.raises(ValueError, match="actors"):
+                MpmdExecutor(3, engine="mp", mp_pool=pool)
+        finally:
+            pool.shutdown()
+
+    def test_mesh_close_is_idempotent_and_respawns(self):
+        ts, params, batch = make_problem(2, n_mbs=4)
+        mesh = core.RemoteMesh((2,), engine="mp", mp_watchdog_s=WATCHDOG_S)
+        step = mesh.distributed(ts, schedule=core.OneFOneB(2))
+        want = step(params, batch)
+        first_pool = mesh._mp_pool
+        mesh.close()
+        mesh.close()
+        assert mesh._mp_pool is None and first_pool.closed
+        # the mesh stays usable: the next call spawns a fresh pool
+        got = step(params, batch)
+        assert_bit_identical(want, got)
+        assert mesh._mp_pool is not None and mesh._mp_pool is not first_pool
+        mesh.close()

@@ -1,0 +1,351 @@
+"""Reuse / soak / chaos battery for the persistent mp actor pool.
+
+The differential suite (``test_mp_pool.py``) pins down *what* the pool
+computes; this one pins down how it *lives*: programs ship once and are
+cached worker-side, independent compiled steps interleave on one warm
+mesh, backpressure really blocks at the queue bound, an idle pool never
+trips the watchdog, shared-memory segments return to baseline after
+every submission, and a ``kill -9``'d worker fails pending futures with
+a diagnostic instead of hanging the driver.  Every test runs under the
+same hard SIGALRM cap as ``test_mp_equivalence.py`` — the chaos paths
+are exactly the ones whose regressions wedge a suite.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.runtime import (
+    ActorPool,
+    BufferRef,
+    CommMode,
+    DeadlockError,
+    PoolBackpressureTimeout,
+    Recv,
+    RunTask,
+    Send,
+)
+from repro.runtime.store import ObjectStore
+from tests.core.test_linear_backend import assert_bit_identical, make_problem
+
+HARD_TIMEOUT_S = 300
+
+WATCHDOG_S = 60.0
+
+
+@pytest.fixture(autouse=True)
+def hard_timeout():
+    def boom(signum, frame):  # pragma: no cover - only fires on regression
+        raise TimeoutError(
+            f"mp pool lifecycle test exceeded the hard {HARD_TIMEOUT_S}s cap"
+        )
+
+    old = signal.signal(signal.SIGALRM, boom)
+    signal.alarm(HARD_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old)
+
+
+# -- tiny hand-written programs (module-level fns: spawn needs pickles) ----
+
+
+def _double(vals):
+    return [vals[0] * 2.0]
+
+
+def _sleepy(vals):
+    time.sleep(0.8)
+    return [vals[0] + 1.0]
+
+
+def _long_sleep(vals):  # pragma: no cover - killed mid-sleep by chaos tests
+    time.sleep(30.0)
+    return [vals[0]]
+
+
+def _one_rank_program(fn):
+    return [
+        [RunTask("t", [BufferRef("x")], [BufferRef("y")], fn=fn,
+                 meta={"out_nbytes": [32]})],
+    ]
+
+
+def _one_rank_stores(value=None):
+    store = ObjectStore(0)
+    if value is None:
+        value = np.arange(8, dtype=np.float32)
+    store.put(BufferRef("x"), value, 32)
+    return [store]
+
+
+def _shm_count() -> int:
+    """Live shared-memory segments this boot (multiprocessing names all
+    of its segments ``psm_*`` on Linux)."""
+    try:
+        return sum(1 for f in os.listdir("/dev/shm") if f.startswith("psm_"))
+    except FileNotFoundError:  # pragma: no cover - non-Linux fallback
+        return 0
+
+
+def _settle_to(baseline: int, deadline_s: float = 5.0) -> int:
+    """Segment count once it settles back to ``baseline`` (unlinks of
+    just-consumed payloads can trail ``result()`` by a scheduler tick)."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        n = _shm_count()
+        if n <= baseline:
+            return n
+        time.sleep(0.05)
+    return _shm_count()
+
+
+class TestReuse:
+    def test_program_cache_hit_on_resubmission(self):
+        """The same program object re-submitted N times is pickled to the
+        workers exactly once — the ship counter stays at 1."""
+        with ActorPool(1, watchdog_s=WATCHDOG_S) as pool:
+            progs = _one_rank_program(_double)
+            for i in range(5):
+                stores = _one_rank_stores(np.full(8, float(i), np.float32))
+                pool.submit(progs, stores).result(timeout=60)
+                got = stores[0].get(BufferRef("y")).value
+                np.testing.assert_array_equal(got, np.full(8, 2.0 * i))
+            assert pool.ship_count == 1
+            assert pool.submit_count == 5
+
+    def test_two_compiled_steps_interleave_on_one_pool(self):
+        """Two independently compiled step functions multiplex one warm
+        mesh: two ships, interleaved submissions, results bit-identical
+        to the event engine throughout."""
+        ts_a, params_a, batch_a = make_problem(2, n_mbs=4)
+        ts_b, params_b, batch_b = make_problem(2, n_mbs=4, d=16, seed=7)
+        ev = core.RemoteMesh((2,))
+        want_a = ev.distributed(ts_a, schedule=core.OneFOneB(2))(params_a, batch_a)
+        want_b = ev.distributed(ts_b, schedule=core.GPipe(2))(params_b, batch_b)
+        mesh = core.RemoteMesh((2,), engine="mp", mp_watchdog_s=WATCHDOG_S)
+        try:
+            step_a = mesh.distributed(ts_a, schedule=core.OneFOneB(2))
+            step_b = mesh.distributed(ts_b, schedule=core.GPipe(2))
+            for _ in range(2):  # A, B, A, B on the same pool
+                assert_bit_identical(want_a, step_a(params_a, batch_a))
+                assert_bit_identical(want_b, step_b(params_b, batch_b))
+            pool = mesh._mp_pool
+            assert pool.ship_count == 2
+            assert pool.submit_count == 4
+            assert len({p for p in pool.pids}) == 2  # same two processes
+        finally:
+            mesh.close()
+
+    def test_pipelined_submissions_overlap(self):
+        """Futures return immediately: step N+1 is accepted (shipped,
+        inputs staged) while step N is still executing."""
+        with ActorPool(1, watchdog_s=WATCHDOG_S, max_inflight=4) as pool:
+            progs = _one_rank_program(_sleepy)
+            t0 = time.monotonic()
+            futs = [pool.submit(progs, _one_rank_stores()) for _ in range(3)]
+            submit_elapsed = time.monotonic() - t0
+            assert submit_elapsed < 0.5  # submission never waits on execution
+            assert pool.inflight == 3
+            for f in futs:
+                f.result(timeout=60)
+            assert pool.inflight == 0
+
+
+class TestBackpressure:
+    def test_submit_blocks_at_queue_bound(self):
+        with ActorPool(1, watchdog_s=WATCHDOG_S, max_inflight=2) as pool:
+            progs = _one_rank_program(_sleepy)
+            futs = [pool.submit(progs, _one_rank_stores()) for _ in range(2)]
+            with pytest.raises(PoolBackpressureTimeout, match="queue full"):
+                pool.submit(progs, _one_rank_stores(), timeout=0.1)
+            # a slot frees when a step completes; the same submit succeeds
+            futs[0].result(timeout=60)
+            late = pool.submit(progs, _one_rank_stores(), timeout=30.0)
+            futs[1].result(timeout=60)
+            late.result(timeout=60)
+
+    def test_bound_validated(self):
+        with pytest.raises(ValueError, match="max_inflight"):
+            ActorPool(1, max_inflight=0)
+
+
+class TestWatchdog:
+    def test_idle_pool_survives_past_watchdog(self):
+        """The no-progress watchdog only arms while submissions are
+        outstanding: a pool idling far past ``watchdog_s`` still serves
+        the next step."""
+        with ActorPool(1, watchdog_s=2.0) as pool:
+            progs = _one_rank_program(_double)
+            pool.submit(progs, _one_rank_stores()).result(timeout=60)
+            time.sleep(3.0)  # > watchdog_s, zero control traffic
+            assert pool.alive()
+            pool.submit(progs, _one_rank_stores()).result(timeout=60)
+            assert pool.alive()
+
+    def test_stuck_submission_fails_pending_futures(self):
+        """A genuinely stuck step trips the watchdog with the standard
+        per-actor diagnostic, and *every* pending future carries it."""
+        progs = [
+            [Send(BufferRef("x"), 1, "never")],  # SYNC send, no recv posted
+            [],
+        ]
+        pool = ActorPool(2, comm_mode=CommMode.SYNC, watchdog_s=3.0)
+        try:
+            stores = [ObjectStore(0), ObjectStore(1)]
+            stores[0].put(BufferRef("x"), np.zeros(4, np.float32), 16)
+            fut = pool.submit(progs, stores)
+            with pytest.raises(DeadlockError) as err:
+                fut.result(timeout=120)
+            msg = str(err.value)
+            assert "mp pool" in msg
+            assert "watchdog" in msg
+            assert "stuck at" in msg
+            assert "program counters" in msg
+            assert pool.closed
+            with pytest.raises(RuntimeError, match="dead"):
+                pool.submit(progs, [ObjectStore(0), ObjectStore(1)])
+        finally:
+            pool.shutdown()
+
+
+class TestSoak:
+    def test_soak_shm_segments_return_to_baseline(self):
+        """20 steps through one pool with every payload forced onto the
+        shared-memory path: the system segment count returns to its
+        baseline after *each* step — per-submission accounting, no leak
+        however long the pool lives."""
+        ts, params, batch = make_problem(2, n_mbs=4)
+        baseline = _shm_count()
+        mesh = core.RemoteMesh(
+            (2,), engine="mp", mp_watchdog_s=WATCHDOG_S, mp_shm_threshold=1
+        )
+        try:
+            step = mesh.distributed(ts, schedule=core.OneFOneB(2))
+            for i in range(20):
+                params, _ = step(params, batch)
+                n = _settle_to(baseline)
+                assert n <= baseline, (
+                    f"step {i}: {n - baseline} shared-memory segments leaked "
+                    f"(baseline {baseline})"
+                )
+            pool = mesh._mp_pool
+            assert pool.submit_count == 20 and pool.ship_count == 1
+        finally:
+            mesh.close()
+        assert _settle_to(baseline) <= baseline
+
+    @pytest.mark.slow
+    def test_soak_interleaved_steps_and_idle_gaps(self):
+        """Longer soak: two step functions, idle gaps past the watchdog,
+        segment baseline held throughout."""
+        ts, params, batch = make_problem(2, n_mbs=4)
+        baseline = _shm_count()
+        mesh = core.RemoteMesh(
+            (2,), engine="mp", mp_watchdog_s=2.0, mp_shm_threshold=1
+        )
+        try:
+            step_a = mesh.distributed(ts, schedule=core.OneFOneB(2))
+            step_b = mesh.distributed(ts, schedule=core.GPipe(2))
+            for i in range(10):
+                params, _ = step_a(params, batch)
+                params, _ = step_b(params, batch)
+                if i % 4 == 3:
+                    time.sleep(2.5)  # idle past the watchdog window
+                assert _settle_to(baseline) <= baseline
+            assert mesh._mp_pool.alive()
+        finally:
+            mesh.close()
+
+
+class TestChaos:
+    def test_killed_worker_fails_pending_futures(self):
+        """``kill -9`` of one worker mid-step: every pending future fails
+        promptly with a diagnostic naming the actor and exit code — the
+        driver never hangs, and the pool refuses further submissions."""
+        pool = ActorPool(1, watchdog_s=WATCHDOG_S, max_inflight=4)
+        try:
+            progs = _one_rank_program(_long_sleep)
+            fut1 = pool.submit(progs, _one_rank_stores())
+            fut2 = pool.submit(progs, _one_rank_stores())
+            time.sleep(0.5)  # let the first step start its sleep
+            os.kill(pool.pids[0], signal.SIGKILL)
+            with pytest.raises(RuntimeError, match="died without reporting"):
+                fut1.result(timeout=60)
+            exc = fut2.exception(timeout=60)
+            assert exc is not None and "actor 0" in str(exc)
+            assert "exitcode" in str(exc)
+            assert pool.closed and not pool.alive()
+            with pytest.raises(RuntimeError, match="dead"):
+                pool.submit(progs, _one_rank_stores())
+        finally:
+            pool.shutdown()
+
+    def test_mesh_respawns_pool_after_crash(self):
+        """A ``RemoteMesh`` whose pool died serves the next step from a
+        fresh pool — crash recovery needs no user-visible plumbing."""
+        ts, params, batch = make_problem(2, n_mbs=4)
+        mesh = core.RemoteMesh((2,), engine="mp", mp_watchdog_s=WATCHDOG_S)
+        try:
+            step = mesh.distributed(ts, schedule=core.OneFOneB(2))
+            want = step(params, batch)
+            dead_pool = mesh._mp_pool
+            os.kill(dead_pool.pids[1], signal.SIGKILL)
+            deadline = time.monotonic() + 30.0
+            while dead_pool.alive() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            got = step(params, batch)  # transparently respawns
+            assert_bit_identical(want, got)
+            assert mesh._mp_pool is not dead_pool
+        finally:
+            mesh.close()
+
+    def test_worker_exception_fails_submission(self):
+        """A raising task payload surfaces as the driver-side error with
+        the worker traceback embedded, not a hang."""
+
+        pool = ActorPool(1, watchdog_s=WATCHDOG_S)
+        try:
+            progs = _one_rank_program(_raise_boom)
+            fut = pool.submit(progs, _one_rank_stores())
+            with pytest.raises(RuntimeError, match="boom"):
+                fut.result(timeout=60)
+            assert pool.closed
+        finally:
+            pool.shutdown()
+
+
+def _raise_boom(vals):
+    raise ValueError("boom")
+
+
+class TestShutdown:
+    def test_shutdown_drains_pending_work(self):
+        """``shutdown()`` is graceful: submissions already accepted run
+        to completion before the workers exit."""
+        pool = ActorPool(1, watchdog_s=WATCHDOG_S, max_inflight=4)
+        progs = _one_rank_program(_sleepy)
+        stores = _one_rank_stores()
+        fut = pool.submit(progs, stores)
+        pool.shutdown()
+        res = fut.result(timeout=1.0)  # already merged during shutdown
+        assert res.engine == "mp"
+        np.testing.assert_array_equal(
+            stores[0].get(BufferRef("y")).value,
+            np.arange(8, dtype=np.float32) + 1.0,
+        )
+
+    def test_shutdown_idempotent_and_context_manager(self):
+        pool = ActorPool(1, watchdog_s=WATCHDOG_S)
+        with pool:
+            pool.submit(_one_rank_program(_double), _one_rank_stores()).result(
+                timeout=60
+            )
+        pool.shutdown()  # second call is a no-op
+        assert pool.closed
