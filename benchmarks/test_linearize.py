@@ -1,26 +1,23 @@
-"""Linear task VM guard: the steady-state dispatch claim, measured.
+"""Task-backend benchmark: interpret vs linear VM vs codegen (PR 3 + PR 7).
 
-The paper's economics are "pay trace/compile once, dispatch cheaply at
-steady state".  For the numeric runtime that means the per-microbatch hot
-path must not re-interpret stage jaxprs.  This benchmark pins the claim on
-the transformer example (the paper's headline workload at laptop scale):
+Three execution tiers for the same lowered stage tasks:
 
-- **dispatch guard** — per training step, the linear backend performs
-  strictly fewer VM instructions than the interpreter's equation
-  dispatches (fusion + folding + identity elision), and at least **2x
-  fewer Python-level calls**.  Per equation the interpreter costs
-  ``bind + abstract_eval + impl`` plus two normalizations per operand
-  (``_concretize`` + ``abstractify``); the VM costs one pre-bound call
-  per instruction — both counts are computed statically from the lowered
-  programs, so the guard is deterministic.
+- ``interpret``: tree-walking reference (one Python dispatch per eqn);
+- ``linear``: slot-indexed VM over a ``LinearProgram`` (PR 3 — one
+  dispatch per *instruction*, with folding/aliasing/fusion);
+- ``codegen``: each program exec-compiled into straight-line Python
+  source (PR 7 — dispatch only at guaranteed impl-call sites).
 
-- **wall-clock guard** — lowering once must also *win* time: evaluating
-  the transformer's gradient jaxpr through the VM must be no slower than
-  the tree-walking interpreter (in practice it is several times faster;
-  the guard only asserts parity to stay robust on noisy CI machines).
+The acceptance floor rides on the *deployed* steady state: a full
+pipeline step with ``task_backend="codegen"`` under whole-actor fusion
+(``codegen_actor=True`` merges every actor's instruction stream into one
+generated driver) must be >= 2x faster wall-clock than the current
+``"linear"`` backend on the stock event engine, bit-identical outputs
+included.  Task-level columns are reported alongside (they share the
+same C-kernel floor, so their ratio saturates below the step-level one).
 
-A ``BENCH_linearize.json`` perf record is emitted next to the usual text
-artefact so the trajectory is tracked across PRs.
+Writes ``BENCH_linearize.json`` with the three-column matrix,
+per-backend Python-call counts, and the step-level measure.
 """
 
 import json
@@ -31,7 +28,8 @@ import numpy as np
 from repro import core, ir
 from repro.core.compile import compile_train_step
 from repro.data import token_batches
-from repro.ir.linearize import LinearProgram, linearize
+from repro.ir.codegen import CodegenProgram, codegen
+from repro.ir.linearize import linearize
 from repro.models import TransformerConfig, init_transformer, transformer_loss
 from repro.runtime.instructions import RunTask
 
@@ -42,6 +40,10 @@ CFG = TransformerConfig(
     n_layers=4, n_stages=4, tie_embeddings=False,
 )
 N_MBS, MBSZ = 4, 8
+
+#: step-level acceptance floor: codegen backend + fused actor driver vs
+#: the linear backend on the stock event engine
+STEP_SPEEDUP_FLOOR = 2.0
 
 
 def _transformer_step():
@@ -62,35 +64,59 @@ def _transformer_step():
     return train_step, params, batch
 
 
-def test_linear_backend_dispatch_and_wallclock_guard(results_dir):
+def _best_of(fn, repeats=7):
+    fn()  # warm
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def test_backend_matrix_and_step_wallclock_floor(results_dir):
     train_step, params, batch = _transformer_step()
     jaxpr, _, _ = ir.trace(train_step, params, batch)
-    compiled = compile_train_step(jaxpr, core.OneFOneB(CFG.n_stages))
+    compiled = compile_train_step(
+        jaxpr, core.OneFOneB(CFG.n_stages), task_backend="codegen"
+    )
 
     # ---- static per-step dispatch accounting over every loop RunTask ----
-    totals = {"eqns": 0, "instructions": 0, "vm_calls": 0, "interp_calls": 0}
+    # CodegenProgram.stats carries the whole column stack: eqn dispatches
+    # (interpret), VM instruction calls (linear), and guaranteed call
+    # sites of the generated source (codegen).
+    totals = {
+        "eqns": 0, "instructions": 0,
+        "interp_calls": 0, "vm_calls": 0, "codegen_calls": 0,
+        "codegen_residual_checks": 0,
+    }
     per_task: dict[int, dict] = {}
     for prog in compiled.programs:
         for instr in prog:
-            if isinstance(instr, RunTask) and isinstance(instr.fn, LinearProgram):
+            if isinstance(instr, RunTask) and isinstance(instr.fn, CodegenProgram):
                 s = instr.fn.stats
                 totals["eqns"] += s["n_eqns"]
                 totals["instructions"] += s["n_instructions"]
-                totals["vm_calls"] += s["vm_calls_per_run"]
                 totals["interp_calls"] += s["interp_calls_per_run"]
+                totals["vm_calls"] += s["vm_calls_per_run"]
+                totals["codegen_calls"] += s["codegen_calls_per_run"]
+                totals["codegen_residual_checks"] += s["codegen_residual_checks"]
                 per_task.setdefault(id(instr.fn), s)
 
-    assert totals["instructions"] > 0, "no linear task payloads found"
-    # strictly fewer VM instructions than interpreter eqn dispatches
+    assert totals["instructions"] > 0, "no codegen task payloads found"
     assert totals["instructions"] < totals["eqns"]
-    # >= 2x fewer Python-level dispatches per step (the acceptance bar)
-    call_ratio = totals["interp_calls"] / totals["vm_calls"]
-    assert call_ratio >= 2.0, f"dispatch reduction only {call_ratio:.2f}x"
-    # lowering happened once per distinct task, not once per microbatch
-    n_tasks_with_payload = len(per_task)
-    assert n_tasks_with_payload <= len(compiled.split.tasks)
+    vm_ratio = totals["interp_calls"] / totals["vm_calls"]
+    cg_ratio = totals["interp_calls"] / totals["codegen_calls"]
+    assert vm_ratio >= 2.0, f"linear dispatch reduction only {vm_ratio:.2f}x"
+    assert cg_ratio >= 2.0, f"codegen call reduction only {cg_ratio:.2f}x"
+    # codegen's count is exhaustive (impls + input conversions + residual
+    # dtype checks); the VM performs those too but counts only instruction
+    # dispatches, so the columns are floors, not directly ordered.  What
+    # must hold: almost all dynamic dtype checks are resolved at gen time.
+    assert totals["codegen_residual_checks"] < totals["instructions"]
+    assert len(per_task) <= len(compiled.split.tasks)
 
-    # ---- wall-clock: transformer gradient jaxpr, VM vs interpreter -------
+    # ---- task-level wall-clock: transformer gradient jaxpr, 3 columns ---
     mb = (batch[0][0], batch[1][0])
     grad_jaxpr, _, _ = ir.trace(
         lambda p, mb: ir.value_and_grad(
@@ -99,33 +125,64 @@ def test_linear_backend_dispatch_and_wallclock_guard(results_dir):
         params, mb,
     )
     flat, _ = ir.tree_flatten((params, mb))
-    prog = linearize(grad_jaxpr)
+    lin = linearize(grad_jaxpr)
+    cg = codegen(grad_jaxpr)
 
     ref = ir.eval_jaxpr(grad_jaxpr, flat)
-    got = prog(flat)
-    for a, b in zip(ref, got):
-        np.testing.assert_array_equal(np.asarray(a), np.asarray(b))
+    for backend_out in (lin(flat), cg(flat)):
+        for a, b in zip(ref, backend_out):
+            a, b = np.asarray(a), np.asarray(b)
+            assert a.dtype == b.dtype
+            np.testing.assert_array_equal(a, b)
 
-    def best_of(fn, repeats=7):
-        fn()  # warm
-        times = []
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            fn()
-            times.append(time.perf_counter() - t0)
-        return min(times)
-
-    t_interp = best_of(lambda: ir.eval_jaxpr(grad_jaxpr, flat))
-    t_linear = best_of(lambda: prog(flat))
-    assert t_linear <= t_interp, (
-        f"linear VM slower than interpreter: {t_linear:.6f}s vs {t_interp:.6f}s"
+    t_interp = _best_of(lambda: ir.eval_jaxpr(grad_jaxpr, flat))
+    t_linear = _best_of(lambda: lin(flat))
+    t_codegen = _best_of(lambda: cg(flat))
+    assert t_linear <= t_interp
+    assert t_codegen <= t_linear, (
+        f"codegen slower than linear VM: {t_codegen:.6f}s vs {t_linear:.6f}s"
     )
 
-    gstats = prog.stats
+    # ---- step-level wall-clock: deployed steady state (the floor) -------
+    # linear backend on the stock event engine vs codegen backend with the
+    # whole-actor fused driver — same schedule, same inputs, bit-identical.
+    mesh_lin = core.RemoteMesh((CFG.n_stages,))
+    step_lin = mesh_lin.distributed(train_step, task_backend="linear")
+    mesh_cg = core.RemoteMesh((CFG.n_stages,), codegen_actor=True)
+    step_cg = mesh_cg.distributed(train_step, task_backend="codegen")
+
+    out_lin = step_lin(params, batch)
+    out_cg = step_cg(params, batch)
+    fa, _ = ir.tree_flatten(out_lin)
+    fb, _ = ir.tree_flatten(out_cg)
+    for a, b in zip(fa, fb):
+        a, b = np.asarray(a), np.asarray(b)
+        assert a.dtype == b.dtype
+        np.testing.assert_array_equal(a, b)
+
+    t_step_lin = _best_of(lambda: step_lin(params, batch), repeats=25)
+    t_step_cg = _best_of(lambda: step_cg(params, batch), repeats=25)
+    step_speedup = t_step_lin / t_step_cg
+    assert step_speedup >= STEP_SPEEDUP_FLOOR, (
+        f"codegen+fused step only {step_speedup:.2f}x over linear "
+        f"({t_step_cg * 1e3:.2f} ms vs {t_step_lin * 1e3:.2f} ms); "
+        f"floor is {STEP_SPEEDUP_FLOOR}x"
+    )
+
+    driver = step_cg._fused[1]
+    gstats = cg.stats
     record = {
         "model": "mini-GPT 4L/4stages d=32",
-        "per_step": dict(totals, call_ratio=round(call_ratio, 3),
-                         eqn_ratio=round(totals["eqns"] / totals["instructions"], 3)),
+        "per_step_python_calls": {
+            "interpret": totals["interp_calls"],
+            "linear": totals["vm_calls"],
+            "codegen": totals["codegen_calls"],
+            "codegen_residual_checks": totals["codegen_residual_checks"],
+            "eqns": totals["eqns"],
+            "vm_instructions": totals["instructions"],
+            "linear_call_ratio": round(vm_ratio, 3),
+            "codegen_call_ratio": round(cg_ratio, 3),
+        },
         "grad_jaxpr": {
             "n_eqns": gstats["n_eqns"],
             "n_instructions": gstats["n_instructions"],
@@ -133,46 +190,66 @@ def test_linear_backend_dispatch_and_wallclock_guard(results_dir):
             "aliased": gstats["aliased"],
             "fused_away": gstats["fused_away"],
             "donations": gstats["donations"],
+            "codegen_calls_per_run": gstats["codegen_calls_per_run"],
         },
-        "wallclock_s": {
+        "task_wallclock_s": {
             "interpret": round(t_interp, 6),
             "linear": round(t_linear, 6),
-            "speedup": round(t_interp / t_linear, 3),
+            "codegen": round(t_codegen, 6),
+            "linear_speedup_vs_interpret": round(t_interp / t_linear, 3),
+            "codegen_speedup_vs_interpret": round(t_interp / t_codegen, 3),
+            "codegen_speedup_vs_linear": round(t_linear / t_codegen, 3),
+        },
+        "step_wallclock_s": {
+            "linear_event": round(t_step_lin, 6),
+            "codegen_fused_actor": round(t_step_cg, 6),
+            "speedup": round(step_speedup, 3),
+            "floor": STEP_SPEEDUP_FLOOR,
+            "fused_instructions": driver.n_instructions,
+            "fused_task_calls": driver.n_tasks,
+            "fused_p2p_rebinds": driver.p2p_count,
         },
     }
     (results_dir / "BENCH_linearize.json").write_text(json.dumps(record, indent=2) + "\n")
 
     lines = [
-        "linear task VM vs tree-walking interpreter (transformer example)",
+        "task backends: interpret vs linear VM vs codegen (transformer example)",
         "",
         f"per-step loop tasks : {totals['eqns']} eqn dispatches -> "
-        f"{totals['instructions']} VM instructions "
-        f"({totals['eqns'] / totals['instructions']:.2f}x fewer)",
-        f"python-level calls  : {totals['interp_calls']} -> {totals['vm_calls']} "
-        f"({call_ratio:.2f}x fewer)",
-        f"grad jaxpr lowering : {gstats['n_eqns']} eqns -> "
-        f"{gstats['n_instructions']} instrs "
-        f"(folded={gstats['folded']}, aliased={gstats['aliased']}, "
-        f"fused={gstats['fused_away']}, donations={gstats['donations']})",
-        f"wall-clock          : interpret {t_interp * 1e3:.2f} ms, "
-        f"linear {t_linear * 1e3:.2f} ms ({t_interp / t_linear:.2f}x)",
+        f"{totals['instructions']} VM instructions",
+        f"python-level calls  : interpret {totals['interp_calls']} -> "
+        f"linear {totals['vm_calls']} ({vm_ratio:.2f}x) -> "
+        f"codegen {totals['codegen_calls']} ({cg_ratio:.2f}x, "
+        f"{totals['codegen_residual_checks']} residual dtype checks)",
+        f"grad jaxpr          : {gstats['n_eqns']} eqns -> "
+        f"{gstats['n_instructions']} instrs -> "
+        f"{gstats['codegen_calls_per_run']} generated call sites",
+        f"task wall-clock     : interpret {t_interp * 1e3:.2f} ms, "
+        f"linear {t_linear * 1e3:.2f} ms ({t_interp / t_linear:.2f}x), "
+        f"codegen {t_codegen * 1e3:.2f} ms ({t_interp / t_codegen:.2f}x)",
+        f"step wall-clock     : linear/event {t_step_lin * 1e3:.2f} ms, "
+        f"codegen+fused-actor {t_step_cg * 1e3:.2f} ms "
+        f"({step_speedup:.2f}x; floor {STEP_SPEEDUP_FLOOR}x); "
+        f"driver fuses {driver.n_instructions} instructions into "
+        f"{driver.n_tasks} task calls + {driver.p2p_count} rebinds",
     ]
     emit(results_dir, "linearize_dispatch", "\n".join(lines))
 
 
-def test_linear_backend_end_to_end_step_identical(results_dir):
-    """The full distributed step is bit-identical across backends on the
-    transformer (gallery-wide coverage lives in tier-1; this pins the
-    benchmark workload itself)."""
+def test_backend_end_to_end_step_identical(results_dir):
+    """The full distributed step is bit-identical across all three task
+    backends on the benchmark workload itself (gallery-wide coverage
+    lives in tier-1)."""
     train_step, params, batch = _transformer_step()
     outs = {}
-    for backend in ("linear", "interpret"):
+    for backend in ("linear", "interpret", "codegen"):
         mesh = core.RemoteMesh((CFG.n_stages,))
         step = mesh.distributed(train_step, task_backend=backend)
         outs[backend] = step(params, batch)
     fa, _ = ir.tree_flatten(outs["linear"])
-    fb, _ = ir.tree_flatten(outs["interpret"])
-    for a, b in zip(fa, fb):
-        a, b = np.asarray(a), np.asarray(b)
-        assert a.dtype == b.dtype
-        np.testing.assert_array_equal(a, b)
+    for other in ("interpret", "codegen"):
+        fb, _ = ir.tree_flatten(outs[other])
+        for a, b in zip(fa, fb):
+            a, b = np.asarray(a), np.asarray(b)
+            assert a.dtype == b.dtype
+            np.testing.assert_array_equal(a, b)

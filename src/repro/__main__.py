@@ -10,6 +10,10 @@ and the generated documentation::
 
     python -m repro docs-schedules   # rewrites docs/SCHEDULES.md in place
 
+and debugging aids::
+
+    python -m repro dump-codegen     # generated source of the codegen backend
+
 (The benchmark suite under ``benchmarks/`` runs the same computations with
 acceptance assertions; this CLI is the quick interactive path.)
 """
@@ -98,6 +102,66 @@ def fig10() -> None:
     print(f"{'total step':<22} {spmd.step_time:>8.2f} {jx.step_time:>8.2f}")
 
 
+def dump_codegen() -> None:
+    """Print the generated Python source of the codegen task backend.
+
+    Shows both fusion layers on a small demo: the per-task source one
+    ``CodegenProgram`` exec-compiles from a lowered ``LinearProgram``
+    (``task_backend="codegen"``), and the whole-mesh driver the in-process
+    engine runs under ``codegen_actor=True`` (send/recv pairs collapsed
+    into local rebinds)."""
+    import numpy as np
+
+    from repro import core, ir
+    from repro.ir.codegen import codegen
+    from repro.runtime.actorgen import fuse_mesh
+    from repro.runtime.instructions import RunTask
+
+    def loss_fn(w1, w2, x):
+        h = ir.ops.tanh(ir.ops.matmul(x, w1))
+        y = ir.ops.matmul(h, w2)
+        return ir.ops.reduce_sum(ir.ops.mul(y, y))
+
+    rng = np.random.RandomState(0)
+    w1, w2 = rng.randn(8, 16).astype(np.float32), rng.randn(16, 4).astype(np.float32)
+    x = rng.randn(2, 8).astype(np.float32)
+    jaxpr, _, _ = ir.trace(ir.value_and_grad(loss_fn), w1, w2, x)
+    program = codegen(jaxpr)
+    print("== task source: CodegenProgram over value_and_grad(mlp) ==")
+    print(program.source)
+
+    def train_step(params, batch):
+        def microbatch_grads(mb):
+            def mb_loss(p, mb):
+                h = ir.pipeline_yield(ir.ops.tanh(ir.ops.matmul(mb, p["w1"])))
+                y = ir.ops.matmul(h, p["w2"])
+                return ir.ops.reduce_sum(ir.ops.mul(y, y))
+
+            loss, grads = ir.value_and_grad(mb_loss)(params, mb)
+            return grads, loss
+
+        grads, losses = core.accumulate_grads(microbatch_grads, core.GPipe(2))(batch)
+        return grads, losses
+
+    params = {"w1": w1, "w2": w2}
+    batch = rng.randn(2, 2, 8).astype(np.float32)
+    from repro.core.compile import compile_train_step
+
+    tj, _, _ = ir.trace(train_step, params, batch)
+    compiled = compile_train_step(tj, core.GPipe(2), task_backend="codegen")
+    out_keys = [(s[1], s[2]) for s in compiled.output_sources if s[0] == "buffer"]
+    initial = [
+        (a, uid) for pl in compiled.input_placements for a, uid in pl
+    ] + [(a, uid) for a, uid, _ in compiled.literal_placements]
+    driver = fuse_mesh(compiled.programs, out_keys, initial)
+    n_tasks = sum(
+        isinstance(i, RunTask) for prog in compiled.programs for i in prog
+    )
+    print(f"== mesh driver: 2-stage GPipe, {driver.n_instructions} instructions"
+          f" / {n_tasks} tasks fused ==")
+    print(driver.source)
+
+
 def docs_schedules() -> None:
     """Regenerate ``docs/SCHEDULES.md`` from the live schedule gallery
     (diagrams and stats come from the real implementation, so the page
@@ -113,6 +177,7 @@ ARTEFACTS = {
     "table1": table1, "fig6": fig6, "fig7": fig7,
     "fig8": fig8, "fig9": fig9, "fig10": fig10,
     "docs-schedules": docs_schedules,
+    "dump-codegen": dump_codegen,
 }
 
 

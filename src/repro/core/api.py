@@ -68,6 +68,20 @@ class RemoteMesh:
             spawn-per-step driver (cold-start measurement, debugging).
         mp_max_inflight: ``engine="mp"`` only — the persistent pool's
             bound on outstanding submissions (backpressure).
+        codegen_actor: whole-actor loop fusion (the companion of
+            ``task_backend="codegen"``, which fuses *within* a task).
+            In-process engines: the per-actor instruction streams are
+            merged into ONE exec-compiled driver per compiled step —
+            send/recv pairs become local rebinds, so steady-state
+            dispatch is O(task calls), not O(instructions).  The fused
+            driver produces bit-identical values but no virtual-time
+            timeline or wait profile (``step_fn.last_result`` carries a
+            synthetic summary with ``engine="fused"``), so the flag
+            refuses to combine with a ``cost_model``.  ``engine="mp"``:
+            each worker regenerates a fused straight-line driver from
+            its shipped program (cached per ship; the pickle-clean
+            contract is unchanged) — timelines are real wall-clock and
+            fully preserved there.
     """
 
     def __init__(
@@ -83,6 +97,7 @@ class RemoteMesh:
         mp_shm_threshold: int | None = None,
         mp_persistent: bool = True,
         mp_max_inflight: int = 4,
+        codegen_actor: bool = False,
     ):
         shape = tuple(int(s) for s in shape)
         if len(shape) == 1:
@@ -106,6 +121,13 @@ class RemoteMesh:
                 "engine='mp' measures real wall-clock time; virtual cost "
                 "models only apply to the in-process engines"
             )
+        if codegen_actor and cost_model is not None:
+            raise ValueError(
+                "codegen_actor=True fuses away the per-instruction loop, so "
+                "no virtual-time timeline is produced; drop the cost_model "
+                "or the fusion flag"
+            )
+        self.codegen_actor = bool(codegen_actor)
         self.cost_model = cost_model
         self.comm_mode = comm_mode
         self.engine = engine
@@ -178,8 +200,13 @@ class RemoteMesh:
         as ``step_fn.compiled.tune_report``.
         ``task_backend`` picks the stage-task payload: ``"linear"``
         (default; jaxprs compile once into slot-indexed
-        :class:`~repro.ir.linearize.LinearProgram` s) or ``"interpret"``
-        (the tree-walking reference, for differential testing).
+        :class:`~repro.ir.linearize.LinearProgram` s), ``"codegen"``
+        (each jaxpr is emitted as straight-line Python source and
+        exec-compiled once — :class:`~repro.ir.codegen.CodegenProgram`;
+        bit-identical to ``"linear"``, fastest steady state, pairs with
+        the mesh's ``codegen_actor`` whole-actor fusion), or
+        ``"interpret"`` (the tree-walking reference, for differential
+        testing).
         """
         if isinstance(schedule, str) and schedule != "auto":
             raise ValueError(
@@ -221,6 +248,8 @@ class StepFunction:
         self.last_result: ExecutionResult | None = None
         self._out_tree = None
         self._shape_key = None
+        self._fused = None  # (compiled, MeshDriver, out_keys) cache
+        self._executor = None
 
     # -- compilation -----------------------------------------------------------
     def _compile(self, args: tuple) -> None:
@@ -271,6 +300,9 @@ class StepFunction:
         compiled = self.compiled
         assert compiled is not None
 
+        if self.mesh.codegen_actor and self.mesh.engine != "mp":
+            return self._call_fused(compiled, flat)
+
         mp_pool = None
         if self.mesh.engine == "mp" and self.mesh.mp_persistent:
             mp_pool = self.mesh._acquire_mp_pool(compiled.n_actors)
@@ -284,6 +316,7 @@ class StepFunction:
             mp_shm_threshold=self.mesh.mp_shm_threshold,
             mp_pool=mp_pool,
             mp_program_key=compiled.program_key,
+            mp_codegen_actor=self.mesh.codegen_actor,
         )
 
         P = self.mesh.n_pipeline_actors
@@ -335,12 +368,95 @@ class StepFunction:
                 outs.append(executor.fetch(actor, BufferRef(uid)))
         return tree_unflatten(self._out_tree, outs)
 
+    def _call_fused(self, compiled: CompiledStep, flat: list) -> Any:
+        """``codegen_actor=True`` in-process fast path: run the whole mesh's
+        step through one exec-compiled driver (:mod:`repro.runtime.actorgen`),
+        skipping the instruction-level engine entirely."""
+        import time
+
+        from repro.runtime.actorgen import fuse_mesh
+
+        P = self.mesh.n_pipeline_actors
+        dp = compiled.dp_size
+        cached = self._fused
+        if cached is None or cached[0] is not compiled:
+            initial = []
+            for placements in compiled.input_placements:
+                for actor, uid in placements:
+                    for replica in range(dp):
+                        initial.append((replica * P + actor, uid))
+            for actor, uid, _lit in getattr(compiled, "literal_placements", []):
+                for replica in range(dp):
+                    initial.append((replica * P + actor, uid))
+            out_keys = [
+                (src[1], src[2])
+                for src in compiled.output_sources
+                if src[0] == "buffer"
+            ]
+            driver = fuse_mesh(compiled.programs, out_keys, initial)
+            cached = self._fused = (compiled, driver, out_keys)
+        _, driver, out_keys = cached
+
+        placed: dict[tuple[int, str], Any] = {}
+        for k, placements in enumerate(compiled.input_placements):
+            if not placements:
+                continue
+            value = np.asarray(flat[k])
+            shards: list[np.ndarray] | None = None
+            if dp > 1 and k in compiled.batch_input_indices:
+                if value.shape[1] % dp != 0:
+                    raise ValueError(
+                        f"microbatch size {value.shape[1]} not divisible by dp={dp}"
+                    )
+                shards = np.split(value, dp, axis=1)
+            for replica in range(dp):
+                v = shards[replica] if shards is not None else value
+                for actor, uid in placements:
+                    placed[(replica * P + actor, uid)] = v
+        for actor, uid, lit in getattr(compiled, "literal_placements", []):
+            v = np.asarray(lit.value)
+            for replica in range(dp):
+                placed[(replica * P + actor, uid)] = v
+
+        t0 = time.perf_counter()
+        fetched = driver(placed)
+        wall = time.perf_counter() - t0
+        # synthetic summary: the fused driver trades the virtual-time
+        # timeline for dispatch — makespan here is real wall-clock
+        self.last_result = ExecutionResult(
+            makespan=wall,
+            timeline=[],
+            actor_finish=[wall] * compiled.n_actors,
+            p2p_bytes=driver.p2p_bytes,
+            p2p_count=driver.p2p_count,
+            engine="fused",
+            visits=driver.n_instructions,
+            repolls=0,
+        )
+        self._executor = None
+
+        outs = []
+        it = iter(fetched)
+        for src in compiled.output_sources:
+            if src[0] == "literal":
+                outs.append(src[1])
+            elif src[0] == "input":
+                outs.append(flat[src[1]])
+            else:
+                outs.append(next(it))
+        return tree_unflatten(self._out_tree, outs)
+
     # -- diagnostics ------------------------------------------------------------
     @property
     def peak_bytes_per_actor(self) -> list[int]:
         """Peak object-store occupancy of the last call, per actor."""
         if self.last_result is None:
             raise RuntimeError("call the step function first")
+        if self._executor is None:
+            raise RuntimeError(
+                "codegen_actor=True skips the object stores; peak-memory "
+                "accounting needs an unfused run"
+            )
         return [s.peak_bytes for s in self._executor.stores]
 
     def __repr__(self) -> str:

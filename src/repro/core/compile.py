@@ -46,6 +46,7 @@ from repro.core.loop_commute import commute_shared_gradients
 from repro.core.schedule_ir import ScheduleIR
 from repro.core.schedules import BWD, BWD_I, BWD_W, FWD, Schedule
 from repro.core.stage_split import BWD_KIND, FUSED_KIND, SplitResult, StageTask, split_stages
+from repro.ir.codegen import codegen
 from repro.ir.interpreter import eval_jaxpr
 from repro.ir.jaxpr import Atom, Eqn, Jaxpr, Literal, Var
 from repro.ir.linearize import linearize
@@ -109,8 +110,10 @@ class CompiledStep:
             the programs were emitted from (drives runtime ready-queue
             seeding and introspection).
         task_backend: how stage-task payloads execute — ``"linear"`` (the
-            slot-indexed :class:`~repro.ir.linearize.LinearProgram` VM) or
-            ``"interpret"`` (the tree-walking reference interpreter).
+            slot-indexed :class:`~repro.ir.linearize.LinearProgram` VM),
+            ``"codegen"`` (exec-compiled straight-line Python source per
+            program, :mod:`repro.ir.codegen`) or ``"interpret"`` (the
+            tree-walking reference interpreter).
         program_key: process-unique readable id for this compiled step —
             the cache-key prefix under which the persistent mp pool ships
             and caches its programs worker-side.
@@ -143,7 +146,7 @@ class CompiledStep:
         return out
 
 
-TASK_BACKENDS = ("linear", "interpret")
+TASK_BACKENDS = ("linear", "interpret", "codegen")
 
 
 # ---------------------------------------------------------------------------
@@ -227,8 +230,10 @@ def _make_task_fn(jaxpr: Jaxpr, spmd_config=None, task_backend: str = "linear") 
     Otherwise the payload is chosen by ``task_backend``: ``"linear"``
     compiles the jaxpr once into a cached slot-indexed
     :class:`~repro.ir.linearize.LinearProgram` (the steady-state fast
-    path); ``"interpret"`` re-walks the jaxpr through ``tracer.bind`` on
-    every call (the reference the linear VM is differential-tested
+    path); ``"codegen"`` additionally emits that program as straight-line
+    Python source exec-compiled once (:mod:`repro.ir.codegen`);
+    ``"interpret"`` re-walks the jaxpr through ``tracer.bind`` on every
+    call (the reference both compiled backends are differential-tested
     against).
     """
     if spmd_config is not None:
@@ -248,6 +253,11 @@ def _make_task_fn(jaxpr: Jaxpr, spmd_config=None, task_backend: str = "linear") 
         # one lowering per distinct jaxpr; tasks are shared across
         # microbatches, so the cache amortizes over the whole schedule
         return linearize(jaxpr)
+
+    if task_backend == "codegen":
+        # lowers through the same LinearProgram pass, then emits and
+        # exec-compiles one Python function per program (cached alongside)
+        return codegen(jaxpr)
 
     return _InterpretFn(jaxpr)
 
@@ -291,8 +301,9 @@ def compile_train_step(
         cost_fn: optional per-task virtual cost (simulation mode).
         task_backend: stage-task execution backend — ``"linear"``
             (default; slot-indexed :class:`~repro.ir.linearize.LinearProgram`
-            compiled once per task) or ``"interpret"`` (tree-walking
-            reference interpreter).
+            compiled once per task), ``"codegen"`` (each program emitted as
+            straight-line Python source and exec-compiled once) or
+            ``"interpret"`` (tree-walking reference interpreter).
         n_actors: pipeline rank count for ``schedule="auto"`` (the driver
             mesh's width; defaults to one rank per model stage).
         memory_budget: per-rank live-activation-byte budget for

@@ -17,6 +17,7 @@ from repro.ir import dtypes, nn, ops  # noqa: F401 (re-exported modules)
 from repro.ir.autodiff import grad, value_and_grad
 from repro.ir.avals import ShapedArray, abstractify
 from repro.ir.dtypes import bfloat16, bool_, float16, float32, int32
+from repro.ir.codegen import CodegenProgram, codegen, eval_jaxpr_codegen
 from repro.ir.interpreter import eval_jaxpr
 from repro.ir.jaxpr import Eqn, Jaxpr, Literal, Var, dce, pretty_print, validate
 from repro.ir.linearize import LinearProgram, eval_jaxpr_linear, linearize
@@ -39,6 +40,7 @@ __all__ = [
     "float32", "bfloat16", "float16", "int32", "bool_",
     "eval_jaxpr",
     "LinearProgram", "linearize", "eval_jaxpr_linear",
+    "CodegenProgram", "codegen", "eval_jaxpr_codegen",
     "Jaxpr", "Eqn", "Var", "Literal", "dce", "validate", "pretty_print",
     "pipeline_yield",
     "Primitive", "registry",

@@ -61,6 +61,32 @@ int32 = DType("int32", np.dtype(np.int32), 4, False)
 int64 = DType("int64", np.dtype(np.int64), 8, False)
 bool_ = DType("bool", np.dtype(np.bool_), 1, False)
 
+#: registry interning the canonical DType singletons by name, so pickling
+#: round-trips to the *same objects* (dataclass pickling would otherwise
+#: rebuild fresh DType/np.dtype instances — np.dtype does not unpickle to
+#: its singleton — and downstream identity-based fast paths, e.g. the
+#: codegen backend's dtype-prediction tables regenerating source on an mp
+#: worker, would silently degrade to the dynamic-check slow path).
+_BY_NAME: dict[str, DType] = {
+    d.name: d for d in (float32, bfloat16, float16, int32, int64, bool_)
+}
+
+
+def _intern(name: str) -> DType:
+    return _BY_NAME[name]
+
+
+def _dtype_reduce(self: DType):
+    canon = _BY_NAME.get(self.name)
+    if canon is not None and canon is self:
+        return (_intern, (self.name,))
+    return (  # pragma: no cover - no ad-hoc DTypes exist today
+        DType, (self.name, self.np_dtype, self.itemsize, self.inexact)
+    )
+
+
+DType.__reduce__ = _dtype_reduce  # type: ignore[method-assign]
+
 _BY_NP: dict[np.dtype, DType] = {
     np.dtype(np.float64): float32,  # canonicalized down, like JAX's x64 default
     np.dtype(np.float32): float32,

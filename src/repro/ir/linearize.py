@@ -81,14 +81,23 @@ class FusedChain:
     mid-chain are donated to the consuming ufunc via ``out=``.
     """
 
-    __slots__ = ("steps", "n_ext", "width", "out_idx", "name")
+    __slots__ = (
+        "steps", "n_ext", "width", "out_idx", "name", "out_dtypes", "out_shapes"
+    )
 
-    def __init__(self, steps, n_ext, width, out_idx, name):
+    def __init__(
+        self, steps, n_ext, width, out_idx, name, out_dtypes=None, out_shapes=None
+    ):
         self.steps = steps  # [(fn, src_regs, dst_reg, donate_pos, donate_dtype)]
         self.n_ext = n_ext
         self.width = width
         self.out_idx = out_idx
         self.name = name
+        # per-step traced output np dtype/shape, parallel to ``steps`` —
+        # consumed by the codegen backend's static dtype-stability and
+        # broadcast-elision analyses; unused at runtime
+        self.out_dtypes = out_dtypes
+        self.out_shapes = out_shapes
 
     def __call__(self, *ext: Any) -> list[Any]:
         canon = NP_CANONICAL
@@ -291,6 +300,11 @@ class LinearProgram:
 
         instrs: list[tuple] = []
         instr_outs: list[tuple[int, ...]] = []  # produced slots per instruction
+        # codegen hooks, parallel to ``instrs``: primitive name(s) and the
+        # traced output np dtypes of each instruction
+        instr_names: list[str] = []
+        instr_out_dtypes: list[tuple] = []
+        instr_out_shapes: list[tuple] = []
         n_donations = 0
         n_fused_groups = 0
         n_fused_away = 0
@@ -342,6 +356,11 @@ class LinearProgram:
                 else:
                     instrs.append((fn, srcs, out_slots_[0], None, dpos, ddt, ()))
                 instr_outs.append(tuple(out_slots_))
+                instr_names.append(eqn.prim.name)
+                instr_out_dtypes.append(
+                    tuple(v.aval.dtype.np_dtype for v in eqn.outvars)
+                )
+                instr_out_shapes.append(tuple(v.aval.shape for v in eqn.outvars))
                 vm_calls += 1
                 continue
 
@@ -370,13 +389,26 @@ class LinearProgram:
                     n_donations += 1
                 steps.append((fn, srcs_local, reg_of[("body", m, 0)], dpos, ddt))
             name = "+".join(body[m].prim.name for m in group)
+            step_out_dtypes = tuple(
+                body[m].outvars[0].aval.dtype.np_dtype for m in group
+            )
+            step_out_shapes = tuple(body[m].outvars[0].aval.shape for m in group)
             chain = FusedChain(
-                steps, n_ext, n_ext + len(group), (reg_of[("body", root, 0)],), name
+                steps,
+                n_ext,
+                n_ext + len(group),
+                (reg_of[("body", root, 0)],),
+                name,
+                out_dtypes=step_out_dtypes,
+                out_shapes=step_out_shapes,
             )
             srcs = tuple(slot(c) for c in ext_cells)
             slot_of_cell[("body", root, 0)] = n_slots
             instrs.append((chain, srcs, -1, (n_slots,), -1, None, ()))
             instr_outs.append((n_slots,))
+            instr_names.append(name)
+            instr_out_dtypes.append((step_out_dtypes[-1],))
+            instr_out_shapes.append((step_out_shapes[-1],))
             n_slots += 1
             vm_calls += len(group)
 
@@ -408,6 +440,10 @@ class LinearProgram:
 
         # ---- bookkeeping --------------------------------------------------
         self._n_in = n_in
+        self._n_consts = len(consts)
+        self._instr_names = instr_names
+        self._instr_out_dtypes = instr_out_dtypes
+        self._instr_out_shapes = instr_out_shapes
         self._template: list[Any] = [None] * n_slots
         for ci, v in enumerate(consts):
             self._template[n_in + ci] = v

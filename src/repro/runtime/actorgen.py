@@ -1,0 +1,385 @@
+"""Whole-actor loop fusion: instruction streams -> generated driver source.
+
+The codegen task backend (:mod:`repro.ir.codegen`) removes per-equation
+dispatch *inside* one stage task; what remains of a steady-state step is
+the engine's instruction loop itself — one Python-level dispatch (plus
+store, arrival and timeline bookkeeping) per instruction per microbatch.
+This module freezes that loop too, the same way the task backend freezes
+a jaxpr: walk the per-actor instruction streams once, emit straight-line
+Python source, ``exec``-compile it, and run the generated driver on
+every subsequent step.
+
+Two fusion surfaces, both opt-in via ``RemoteMesh(codegen_actor=True)``:
+
+* :func:`fuse_mesh` — the in-process fast path.  All actors' programs
+  are merged into ONE driver function in global data-dependency order:
+  a matched send/recv pair collapses into a local rebind (``b12 = b7``),
+  tasks call their compiled payloads directly on locals, deletes become
+  ``= None`` and accumulates become ``acc = acc + v``.  Steady-state
+  dispatch is O(task calls), and point-to-point transfers cost nothing
+  at all.  Values are bit-identical to the event engine (same payload
+  callables, same operand objects, same all-reduce fold order); what the
+  fused driver deliberately does *not* produce is the virtual-time
+  timeline and wait profile — introspection is the price of fusion, so
+  the flag refuses to combine with a ``cost_model``.
+* :func:`worker_driver` — the ``engine="mp"`` variant.  One straight-line
+  driver per actor process: RunTask bodies are inlined over the worker's
+  object store (require checks survive only for recv-fed operands),
+  comm and collective instructions delegate to the worker's channel
+  methods, which block for real.  Source is regenerated from the shipped
+  program after unpickling — the pickle-clean contract is untouched —
+  and cached per program identity, so the persistent pool (which ships
+  a program object once) generates once per pool lifetime.
+
+Both generators attach the emitted text as ``.source`` for inspection,
+mirroring ``CodegenProgram.source``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.runtime.instructions import (
+    Accumulate,
+    AllReduce,
+    Delete,
+    Instruction,
+    Recv,
+    RunTask,
+    Send,
+)
+
+__all__ = ["FusionError", "MeshDriver", "fuse_mesh", "worker_driver"]
+
+
+class FusionError(RuntimeError):
+    """The instruction streams cannot be fused into a straight-line driver
+    (mismatched send/recv pairing, simulation-mode tasks without payloads,
+    or a dependency cycle that would also deadlock the real engines)."""
+
+
+# ---------------------------------------------------------------------------
+# whole-mesh fusion (in-process engines)
+# ---------------------------------------------------------------------------
+
+
+class MeshDriver:
+    """One exec-compiled function executing a whole mesh's step.
+
+    Call with a dict mapping ``(actor, uid)`` to the placed input arrays;
+    returns the requested output buffers as a list, in the order the
+    ``outputs`` argument of :func:`fuse_mesh` listed them.
+
+    Attributes:
+        source: the generated Python text (debugging / ``dump-codegen``).
+        n_instructions: instructions fused away across all programs.
+        n_tasks: RunTask payload calls the driver makes per step.
+        p2p_count: send/recv pairs collapsed into local rebinds.
+        p2p_bytes: their total payload bytes (from the compiler's size
+            hints), reported in the synthetic
+            :class:`~repro.runtime.executor.ExecutionResult`.
+    """
+
+    __slots__ = (
+        "_fn", "source", "n_instructions", "n_tasks", "p2p_count", "p2p_bytes",
+    )
+
+    def __init__(self, fn, source, n_instructions, n_tasks, p2p_count, p2p_bytes):
+        self._fn = fn
+        self.source = source
+        self.n_instructions = n_instructions
+        self.n_tasks = n_tasks
+        self.p2p_count = p2p_count
+        self.p2p_bytes = p2p_bytes
+
+    def __call__(self, placed: dict) -> list:
+        return self._fn(placed)
+
+
+def _match_pairs(programs: Sequence[Sequence[Instruction]]):
+    """FIFO-match every send to its recv (NCCL semantics: the k-th send
+    from A to B pairs with the k-th recv from A posted on B)."""
+    sends: dict[tuple[int, int], list[Send]] = {}
+    recvs: dict[tuple[int, int], list[Recv]] = {}
+    for a, prog in enumerate(programs):
+        for instr in prog:
+            if isinstance(instr, Send):
+                sends.setdefault((a, instr.dst), []).append(instr)
+            elif isinstance(instr, Recv):
+                recvs.setdefault((instr.src, a), []).append(instr)
+    pair_of_send: dict[int, tuple[int, Recv]] = {}
+    for chan in set(sends) | set(recvs):
+        ss, rr = sends.get(chan, []), recvs.get(chan, [])
+        if len(ss) != len(rr):
+            raise FusionError(
+                f"channel {chan[0]}->{chan[1]} has {len(ss)} sends but "
+                f"{len(rr)} recvs; streams cannot be fused"
+            )
+        for s, r in zip(ss, rr):
+            if s.key != r.key:
+                raise FusionError(
+                    f"channel {chan[0]}->{chan[1]} pairs send {s.key!r} "
+                    f"with recv {r.key!r}; matching order disagrees"
+                )
+            pair_of_send[id(s)] = (chan[1], r)
+    return pair_of_send
+
+
+def fuse_mesh(
+    programs: Sequence[Sequence[Instruction]],
+    outputs: Sequence[tuple[int, str]],
+    initial: Sequence[tuple[int, str]],
+) -> MeshDriver:
+    """Fuse all actors' instruction streams into one driver function.
+
+    Instructions are merged in global data-dependency order (a valid
+    topological interleaving; values are order-independent because every
+    task consumes exact operand objects).  The all-reduce fold replicates
+    the engines' deterministic sorted-actor order, so results stay
+    bit-identical to the unfused engines.
+
+    Args:
+        programs: one instruction stream per actor (numeric mode — every
+            RunTask must carry its payload callable).
+        outputs: ``(actor, uid)`` buffers the driver must return, in order.
+        initial: ``(actor, uid)`` keys of the placed input buffers.
+    """
+    pair_of_send = _match_pairs(programs)
+    n = len(programs)
+    env: dict[str, Any] = {}
+    names: dict[tuple[int, str], str] = {}
+    out_set = set(outputs)
+
+    def name(actor: int, uid: str) -> str:
+        key = (actor, uid)
+        nm = names.get(key)
+        if nm is None:
+            nm = names[key] = f"b{len(names)}"
+        return nm
+
+    lines: list[str] = []
+    avail: set[tuple[int, str]] = set()
+    for actor, uid in initial:
+        lines.append(f"    {name(actor, uid)} = _in[({actor}, {uid!r})]")
+        avail.add((actor, uid))
+
+    pcs = [0] * n
+    posted: dict[str, dict[int, None]] = {}
+    done_groups: set[str] = set()
+    n_instructions = sum(len(p) for p in programs)
+    n_tasks = 0
+    p2p_count = 0
+    p2p_bytes = 0
+    remaining = n_instructions
+    progress = True
+    while remaining and progress:
+        progress = False
+        for a in range(n):
+            prog = programs[a]
+            while pcs[a] < len(prog):
+                instr = prog[pcs[a]]
+                if isinstance(instr, RunTask):
+                    if instr.fn is None:
+                        # cost-only markers (zero-bubble W units) carry no
+                        # payload and no refs: pure no-ops once fused
+                        if instr.in_refs or instr.out_refs:
+                            raise FusionError(
+                                f"task {instr.name!r} has no payload "
+                                "(simulation mode); whole-actor fusion is "
+                                "numeric-only"
+                            )
+                        pcs[a] += 1
+                        remaining -= 1
+                        progress = True
+                        continue
+                    if any((a, r.uid) not in avail for r in instr.in_refs):
+                        break
+                    tag = f"_t{n_tasks}"
+                    env[tag] = instr.fn
+                    n_tasks += 1
+                    ins = ", ".join(name(a, r.uid) for r in instr.in_refs)
+                    outs = ", ".join(name(a, r.uid) for r in instr.out_refs)
+                    sep = "," if len(instr.out_refs) == 1 else ""
+                    lines.append(f"    {outs}{sep} = {tag}([{ins}])  # {instr.name}")
+                    for r in instr.out_refs:
+                        avail.add((a, r.uid))
+                elif isinstance(instr, Send):
+                    if (a, instr.ref.uid) not in avail:
+                        break
+                    dst, recv = pair_of_send[id(instr)]
+                    lines.append(
+                        f"    {name(dst, recv.ref.uid)} = {name(a, instr.ref.uid)}"
+                        f"  # {a}->{dst} {instr.key}"
+                    )
+                    avail.add((dst, recv.ref.uid))
+                    p2p_count += 1
+                    p2p_bytes += recv.nbytes
+                elif isinstance(instr, Recv):
+                    # delivery happens at the paired send; just wait for it
+                    if (a, instr.ref.uid) not in avail:
+                        break
+                elif isinstance(instr, Delete):
+                    key = (a, instr.ref.uid)
+                    if key in names and key not in out_set:
+                        lines.append(f"    {names[key]} = None")
+                    avail.discard(key)
+                elif isinstance(instr, Accumulate):
+                    if (a, instr.value.uid) not in avail:
+                        break
+                    acc, val = (a, instr.acc.uid), (a, instr.value.uid)
+                    if acc in avail:
+                        lines.append(
+                            f"    {name(*acc)} = {names[acc]} + {names[val]}"
+                        )
+                    else:
+                        lines.append(f"    {name(*acc)} = {names[val]}")
+                        avail.add(acc)
+                    if instr.delete_value:
+                        lines.append(f"    {names[val]} = None")
+                        avail.discard(val)
+                elif isinstance(instr, AllReduce):
+                    gk = instr.group_key
+                    if gk not in done_groups:
+                        if (a, instr.ref.uid) not in avail:
+                            break
+                        group_posts = posted.setdefault(gk, {})
+                        group_posts[a] = None
+                        if set(group_posts) != set(instr.group):
+                            break  # park until the whole group arrives
+                        # rendezvous complete: fold in sorted-actor order
+                        # (the engines' deterministic reduction order) and
+                        # hand every participant the same result object
+                        refs = {
+                            m: next(
+                                i.ref
+                                for i in programs[m]
+                                if isinstance(i, AllReduce) and i.group_key == gk
+                            )
+                            for m in instr.group
+                        }
+                        members = sorted(instr.group)
+                        fold = names[(members[0], refs[members[0]].uid)]
+                        for m in members[1:]:
+                            fold = f"{fold} + {names[(m, refs[m].uid)]}"
+                        tot = f"_ar{len(done_groups)}"
+                        lines.append(f"    {tot} = {fold}  # allreduce {gk}")
+                        for m in members:
+                            lines.append(f"    {name(m, refs[m].uid)} = {tot}")
+                        done_groups.add(gk)
+                else:
+                    raise FusionError(f"unknown instruction {instr!r}")
+                pcs[a] += 1
+                remaining -= 1
+                progress = True
+    if remaining:
+        stuck = [
+            f"actor {a} at [{pcs[a]}] {programs[a][pcs[a]]!r}"
+            for a in range(n)
+            if pcs[a] < len(programs[a])
+        ]
+        raise FusionError(
+            "instruction streams deadlock under dataflow order:\n  "
+            + "\n  ".join(stuck)
+        )
+
+    rets = ", ".join(names[key] for key in outputs)
+    lines.append(f"    return [{rets}]")
+    source = "def _driver(_in):\n" + "\n".join(lines) + "\n"
+    code = compile(source, "<fused-mesh>", "exec")
+    exec(code, env)
+    return MeshDriver(
+        env["_driver"], source, n_instructions, n_tasks, p2p_count, p2p_bytes
+    )
+
+
+# ---------------------------------------------------------------------------
+# per-actor fusion (mp workers)
+# ---------------------------------------------------------------------------
+
+#: id(program) -> (program, driver).  The strong reference to the program
+#: pins its id, so the persistent pool's re-submissions of the same shipped
+#: object hit the cache instead of regenerating source every step.
+_WORKER_DRIVERS: dict[int, tuple[Any, Callable]] = {}
+
+
+def worker_driver(program: Sequence[Instruction]) -> Callable:
+    """Generate (or fetch) the fused driver for one mp worker's program.
+
+    The driver takes the :class:`~repro.runtime.mp._Worker` and replays
+    its interpretation loop as straight-line source: RunTask store
+    traffic and timeline events are inlined (``require`` survives only
+    for operands fed by a recv — everything else is provably present),
+    while send/recv/accumulate/all-reduce delegate to the worker's
+    blocking channel methods.  ``W.pc`` is kept exact so error reports
+    and deadlock diagnostics are unchanged.
+    """
+    cached = _WORKER_DRIVERS.get(id(program))
+    if cached is not None and cached[0] is program:
+        return cached[1]
+
+    from repro.runtime.mp import TimelineEvent  # re-exported there
+
+    env: dict[str, Any] = {"_TE": TimelineEvent}
+    lines = [
+        "    _s = W.store",
+        "    _get = _s.get; _put = _s.put; _del = _s.delete",
+        "    _now = W.now; _tl = W.timeline.append; _rank = W.rank",
+    ]
+    recv_fed: set[str] = set()
+    for k, instr in enumerate(program):
+        lines.append(f"    W.pc = {k}")
+        if isinstance(instr, RunTask):
+            onb = instr.meta.get("out_nbytes", [0] * len(instr.out_refs))
+            for j, r in enumerate(instr.in_refs):
+                env[f"_i{k}r{j}"] = r
+                if r.uid in recv_fed:
+                    lines.append(f"    W.require(_i{k}r{j})")
+            if instr.fn is not None:
+                env[f"_f{k}"] = instr.fn
+                env[f"_m{k}"] = instr.meta
+                ins = ", ".join(
+                    f"_get(_i{k}r{j}).value" for j in range(len(instr.in_refs))
+                )
+                lines.append("    _t0 = _now()")
+                lines.append(f"    _o = _f{k}([{ins}])")
+                lines.append(
+                    f"    if len(_o) != {len(instr.out_refs)}:"
+                    f" W.fail('protocol', 'task {instr.name} arity')"
+                )
+                for j, r in enumerate(instr.out_refs):
+                    env[f"_o{k}r{j}"] = r
+                    nb = onb[j] if j < len(onb) else 0
+                    nbexpr = str(nb) if nb else f"getattr(_o[{j}], 'nbytes', 0)"
+                    lines.append(f"    _put(_o{k}r{j}, _o[{j}], {nbexpr})")
+                lines.append(
+                    f"    _tl(_TE(_rank, 'task', {instr.name!r}, _t0, _now(),"
+                    f" meta=dict(_m{k})))"
+                )
+            else:  # pragma: no cover - mp runs are numeric
+                env[f"_i{k}"] = instr
+                lines.append(f"    W.exec_task(_i{k})")
+        elif isinstance(instr, Delete):
+            env[f"_i{k}r"] = instr.ref
+            lines.append(f"    _del(_i{k}r)")
+        elif isinstance(instr, Recv):
+            recv_fed.add(instr.ref.uid)
+            env[f"_i{k}"] = instr
+            lines.append(f"    W.exec_recv(_i{k})")
+        else:
+            env[f"_i{k}"] = instr
+            handler = {
+                Send: "exec_send",
+                Accumulate: "exec_accumulate",
+                AllReduce: "exec_allreduce",
+            }.get(type(instr))
+            if handler is None:
+                raise FusionError(f"unknown instruction {instr!r}")
+            lines.append(f"    W.{handler}(_i{k})")
+    lines.append(f"    W.visits += {len(program)}")
+    source = "def _drive(W):\n" + "\n".join(lines) + "\n"
+    code = compile(source, "<fused-worker>", "exec")
+    exec(code, env)
+    fn = env["_drive"]
+    fn.source = source
+    _WORKER_DRIVERS[id(program)] = (program, fn)
+    return fn

@@ -851,6 +851,10 @@ class MpmdExecutor:
             :meth:`execute` (the pool's watchdog / shm settings apply).
         mp_program_key: advisory cache-key prefix for the pool's
             worker-side program cache (diagnostics only).
+        mp_codegen_actor: ``engine="mp"`` only — workers execute their
+            programs through the fused straight-line driver generated by
+            :mod:`repro.runtime.actorgen` instead of the per-instruction
+            interpretation loop (results are bit-identical).
     """
 
     def __init__(
@@ -864,6 +868,7 @@ class MpmdExecutor:
         mp_shm_threshold: int | None = None,
         mp_pool: Any = None,
         mp_program_key: str | None = None,
+        mp_codegen_actor: bool = False,
     ):
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -893,6 +898,7 @@ class MpmdExecutor:
         self.mp_shm_threshold = mp_shm_threshold
         self.mp_pool = mp_pool
         self.mp_program_key = mp_program_key
+        self.mp_codegen_actor = mp_codegen_actor
         self.stores = [ObjectStore(i) for i in range(n_actors)]
 
     # -- store management (driver-facing) -------------------------------------
@@ -958,6 +964,7 @@ class MpmdExecutor:
                     self.stores,
                     comm_mode=self.comm_mode,
                     program_key=self.mp_program_key,
+                    codegen_actor=self.mp_codegen_actor,
                 )
                 return future.result()
             from repro.runtime import mp as _mp_backend
@@ -968,7 +975,8 @@ class MpmdExecutor:
             if self.mp_shm_threshold is not None:
                 kw["shm_threshold"] = self.mp_shm_threshold
             return _mp_backend.execute_mp(
-                programs, self.stores, comm_mode=self.comm_mode, **kw
+                programs, self.stores, comm_mode=self.comm_mode,
+                codegen_actor=self.mp_codegen_actor, **kw
             )
         actors = [_Actor(i, prog, self.stores[i]) for i, prog in enumerate(programs)]
         state = _RunState(actors, self.stores, self.cost, self.comm_mode)

@@ -218,6 +218,7 @@ class _WorkerSpec:
     comm_mode: CommMode
     shm_threshold: int
     epoch: float  # driver's monotonic base; CLOCK_MONOTONIC is system-wide
+    codegen_actor: bool = False  # fuse the instruction loop (runtime.actorgen)
 
 
 class _WorkerStop(Exception):
@@ -235,6 +236,7 @@ class _Worker:
     def __init__(self, spec, send_qs, recv_qs, ack_wait, ack_send, coll, ctrl):
         self.rank = spec.rank
         self.program = spec.program
+        self.codegen_actor = getattr(spec, "codegen_actor", False)
         self.comm_mode = spec.comm_mode
         self.shm_threshold = spec.shm_threshold
         self.epoch = spec.epoch
@@ -352,6 +354,14 @@ class _Worker:
             self._stop_heartbeat.set()
 
     def _run_program(self) -> dict:
+        if self.codegen_actor and self.program:
+            # whole-actor fusion: the shipped program is regenerated into
+            # one straight-line driver (cached per program identity, so
+            # the persistent pool compiles it once per ship)
+            from repro.runtime.actorgen import worker_driver
+
+            worker_driver(self.program)(self)
+            return self._finish_report()
         for self.pc, instr in enumerate(self.program):
             self.visits += 1
             if isinstance(instr, RunTask):
@@ -368,6 +378,9 @@ class _Worker:
                 self.exec_allreduce(instr)
             else:
                 self.fail("protocol", f"unknown instruction {instr!r}")
+        return self._finish_report()
+
+    def _finish_report(self) -> dict:
         self.pc = len(self.program)
         finish = self.now()
         live = {}
@@ -610,6 +623,7 @@ def execute_mp(
     *,
     watchdog_s: float = DEFAULT_WATCHDOG_S,
     shm_threshold: int = DEFAULT_SHM_THRESHOLD,
+    codegen_actor: bool = False,
 ) -> ExecutionResult:
     """Run one fused program per actor, each in its own OS process.
 
@@ -662,6 +676,7 @@ def execute_mp(
                 comm_mode=comm_mode,
                 shm_threshold=shm_threshold,
                 epoch=epoch,
+                codegen_actor=codegen_actor,
             )
             send_qs = {d: q for (s, d), q in data_qs.items() if s == rank}
             recv_qs = {s: q for (s, d), q in data_qs.items() if d == rank}

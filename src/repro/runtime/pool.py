@@ -317,7 +317,9 @@ def _pool_worker_main(rank: int, n: int, inboxes, ctrl) -> None:
                 continue
             if kind != "run":  # pragma: no cover - future-proofing
                 raise RuntimeError(f"unknown pool command {cmd!r}")
-            _, sid, key, enc_buffers, comm_mode, shm_threshold, epoch = cmd
+            _, sid, key, enc_buffers, comm_mode, shm_threshold, epoch, cga = (
+                cmd if len(cmd) == 8 else (*cmd, False)
+            )
             sub_ctrl = _SubCtrl(ctrl, sid)
             program = programs.get(key)
             if program is None:
@@ -337,6 +339,7 @@ def _pool_worker_main(rank: int, n: int, inboxes, ctrl) -> None:
                 comm_mode=comm_mode,
                 shm_threshold=shm_threshold,
                 epoch=epoch,
+                codegen_actor=cga,
             )
             worker = _Worker(
                 spec, send_qs, recv_qs, ack_wait, ack_send, coll, sub_ctrl
@@ -602,6 +605,7 @@ class ActorPool:
         comm_mode: CommMode | None = None,
         program_key: str | None = None,
         timeout: float | None = None,
+        codegen_actor: bool = False,
     ) -> PoolFuture:
         """Enqueue one step on the warm mesh; returns immediately.
 
@@ -620,6 +624,10 @@ class ActorPool:
                 submissions outstanding, wait at most this long for a
                 slot before raising :class:`PoolBackpressureTimeout`
                 (``None`` blocks).
+            codegen_actor: workers run the shipped program through the
+                fused straight-line driver (:mod:`repro.runtime.actorgen`)
+                instead of the interpretation loop; the driver is
+                generated once per shipped program and cached.
 
         Raises:
             RuntimeError: the pool is shut down or died (worker crash,
@@ -666,7 +674,8 @@ class ActorPool:
                         )
                     self._inboxes[rank].put(
                         (_CMD,
-                         ("run", sid, key, buffers, cm, self.shm_threshold, epoch))
+                         ("run", sid, key, buffers, cm, self.shm_threshold,
+                          epoch, codegen_actor))
                     )
             return future
         except BaseException:

@@ -24,6 +24,7 @@ import pytest
 
 from repro import core, ir
 from repro.core.compile import compile_train_step
+from repro.ir.codegen import CodegenProgram, codegen
 from repro.ir.jaxpr import validate
 from repro.ir.linearize import FusedChain, LinearProgram, linearize
 from repro.ir.primitives import registry
@@ -158,8 +159,47 @@ class TestLinearProgramPickle:
         assert len({id(t.fn) for t in rebuilt}) == n_distinct
 
 
+class TestCodegenProgramPickle:
+    """``CodegenProgram.__reduce__`` ships only the jaxpr; the worker side
+    re-lowers and re-generates source — the exact contract that lets
+    ``engine="mp"`` and the persistent pool run codegen unchanged."""
+
+    @pytest.mark.parametrize("proto", PROTOCOLS)
+    def test_round_trip_bit_identical(self, proto):
+        compiled, _ = _compiled()
+        for task in compiled.split.tasks:
+            cp = codegen(task.jaxpr)
+            cp2 = pickle.loads(pickle.dumps(cp, proto))
+            assert isinstance(cp2, CodegenProgram)
+            args = _task_args(task, seed=3)
+            assert_bit_identical(cp(args), cp2(args))
+
+    def test_source_regenerated_not_shipped(self):
+        compiled, _ = _compiled()
+        cp = codegen(compiled.split.tasks[0].jaxpr)
+        blob = pickle.dumps(cp)
+        # the generated text never travels — only the jaxpr does
+        assert cp.source.encode()[:40] not in blob
+        assert pickle.loads(blob).source == cp.source
+
+    def test_sharing_collapses_via_memo_and_cache(self):
+        compiled, _ = _compiled(task_backend="codegen")
+        loop_tasks = [
+            instr
+            for prog in compiled.programs
+            for instr in prog
+            if isinstance(instr, RunTask)
+            and instr.meta.get("phase") == "loop"
+            and isinstance(instr.fn, CodegenProgram)
+        ]
+        assert loop_tasks
+        n_distinct = len({id(t.fn) for t in loop_tasks})
+        rebuilt = pickle.loads(pickle.dumps(loop_tasks))
+        assert len({id(t.fn) for t in rebuilt}) == n_distinct
+
+
 class TestCompiledProgramsPickle:
-    @pytest.mark.parametrize("task_backend", ["linear", "interpret"])
+    @pytest.mark.parametrize("task_backend", ["linear", "interpret", "codegen"])
     def test_programs_round_trip_and_execute(self, task_backend):
         compiled, flat = _compiled(task_backend=task_backend)
         want = _run(compiled, flat)

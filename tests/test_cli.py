@@ -21,8 +21,20 @@ class TestCli:
     def test_all_artefacts_registered(self):
         assert set(ARTEFACTS) == {
             "table1", "fig6", "fig7", "fig8", "fig9", "fig10",
-            "docs-schedules",
+            "docs-schedules", "dump-codegen",
         }
+
+    def test_dump_codegen_prints_generated_source(self, capsys):
+        assert main(["dump-codegen"]) == 0
+        out = capsys.readouterr().out
+        # per-task source: a def header and a donated out= call or an
+        # inlined operator chain over named locals
+        assert "task source: CodegenProgram" in out
+        assert "def " in out
+        # whole-mesh driver: send/recv pairs collapse into local rebinds
+        assert "mesh driver: 2-stage GPipe" in out
+        assert "def _driver(_in):" in out
+        assert "return [" in out
 
 
 class TestGeneratedDocs:
