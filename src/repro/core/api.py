@@ -68,6 +68,18 @@ class RemoteMesh:
             spawn-per-step driver (cold-start measurement, debugging).
         mp_max_inflight: ``engine="mp"`` only — the persistent pool's
             bound on outstanding submissions (backpressure).
+        recovery: optional :class:`~repro.runtime.recovery.RecoveryPolicy`.
+            With one set, ``distributed`` returns a
+            :class:`~repro.runtime.recovery.ResilientStepFunction`:
+            training steps snapshot program-owned state periodically and
+            survive worker death by respawn + restore + bounded replay,
+            degrading to the usual fail-fast once the policy's budgets
+            are exhausted.
+        fault_plan: optional :class:`~repro.runtime.faults.FaultPlan` —
+            deterministic chaos injected into ``engine="mp"`` pool
+            workers (kill / wedge / drop / delay / corrupt-checkpoint),
+            gated on the pool generation so a fault fires exactly once
+            even across respawns.  Testing hook; ``None`` costs nothing.
         codegen_actor: whole-actor loop fusion (the companion of
             ``task_backend="codegen"``, which fuses *within* a task).
             In-process engines: the per-actor instruction streams are
@@ -98,6 +110,8 @@ class RemoteMesh:
         mp_persistent: bool = True,
         mp_max_inflight: int = 4,
         codegen_actor: bool = False,
+        recovery: Any = None,
+        fault_plan: Any = None,
     ):
         shape = tuple(int(s) for s in shape)
         if len(shape) == 1:
@@ -136,7 +150,13 @@ class RemoteMesh:
         self.mp_shm_threshold = mp_shm_threshold
         self.mp_persistent = bool(mp_persistent)
         self.mp_max_inflight = int(mp_max_inflight)
+        self.recovery = recovery
+        self.fault_plan = fault_plan
         self._mp_pool = None
+        # 0-based count of pools this mesh has spawned; fault plans fire
+        # only in the generation they name, so an injected failure does
+        # not recur in the respawned pool that replays the step
+        self._pool_generation = 0
 
     def _acquire_mp_pool(self, n_actors: int):
         """The mesh's warm :class:`~repro.runtime.pool.ActorPool`, spawned
@@ -158,7 +178,10 @@ class RemoteMesh:
                 watchdog_s=self.mp_watchdog_s,
                 shm_threshold=self.mp_shm_threshold,
                 max_inflight=self.mp_max_inflight,
+                fault_plan=self.fault_plan,
+                generation=self._pool_generation,
             )
+            self._pool_generation += 1
         return pool
 
     def close(self) -> None:
@@ -212,10 +235,15 @@ class RemoteMesh:
             raise ValueError(
                 f"unknown schedule {schedule!r}; pass a Schedule or 'auto'"
             )
-        return StepFunction(
+        fn = StepFunction(
             self, train_step, schedule, comm_strategy, cost_fn, task_backend,
             memory_budget,
         )
+        if self.recovery is not None:
+            from repro.runtime.recovery import ResilientStepFunction
+
+            return ResilientStepFunction(fn, self.recovery)
+        return fn
 
 
 class StepFunction:

@@ -339,11 +339,56 @@ class ScheduleIR:
         self._topo = order
         return order
 
+    def check_edges(self) -> "ScheduleIR":
+        """Edge-consistency: the resolved dependency tables must still
+        agree with :func:`iter_unit_deps`, the single source of
+        dependency structure.  A dropped, redirected, duplicated, or
+        fabricated edge — whether from a buggy lowering or a fuzzer
+        mutating the tables directly — raises ``ValueError`` here rather
+        than executing a subtly-wrong dataflow graph downstream."""
+        if len(self._deps) != self.n_slots:
+            raise ValueError(
+                f"dependency table has {len(self._deps)} entries for "
+                f"{self.n_slots} slots (corrupt IR)"
+            )
+        consumers: dict[tuple[int, int], list[Slot]] = {}
+        for row in self.slots:
+            for slot in row:
+                want: list[Slot] = []
+                for d in iter_unit_deps(slot.unit, self.n_stages):
+                    dep_slot = self._slot_of.get((d.mb, d.stage, d.kind))
+                    if dep_slot is None:
+                        raise ValueError(
+                            f"unit {slot.unit} depends on unscheduled unit {d}"
+                        )
+                    want.append(dep_slot)
+                    consumers.setdefault(
+                        (dep_slot.rank, dep_slot.index), []
+                    ).append(slot)
+                have = self._deps.get((slot.rank, slot.index))
+                if have is None or list(have) != want:
+                    raise ValueError(
+                        f"dependency edges of {slot!r} diverge from the unit "
+                        f"dependency structure: IR has {list(have or ())}, "
+                        f"expected {want} (corrupt or tampered edges)"
+                    )
+        for key in set(consumers) | set(self._consumers):
+            if consumers.get(key, []) != self._consumers.get(key, []):
+                rank, index = key
+                raise ValueError(
+                    f"consumer edges of slot r{rank}[{index}] diverge from "
+                    "the unit dependency structure (corrupt or tampered edges)"
+                )
+        return self
+
     def validate(self) -> "ScheduleIR":
         """Graph checks on top of the construction-time table checks:
-        executability (the greedy topological walk covers every slot) and
-        the per-rank activation-memory bound when the schedule declares
-        one.  Returns ``self`` for chaining; raises ``ValueError``."""
+        edge consistency against the unit dependency structure
+        (:meth:`check_edges`), executability (the greedy topological walk
+        covers every slot), and the per-rank activation-memory bound when
+        the schedule declares one.  Returns ``self`` for chaining; raises
+        ``ValueError``."""
+        self.check_edges()
         peak = self.peak_live()  # runs toposort: raises on deadlock
         for rank in range(self.n_ranks):
             bound = self.schedule.activation_bound(rank, self.n_mbs)

@@ -5,21 +5,54 @@ focuses on long-running training jobs") — need restartable state. Pytrees
 are flattened to named arrays with a structure manifest so any
 :class:`~repro.models.training.TrainState` (or arbitrary pytree of arrays)
 round-trips exactly.
+
+Checkpoints are also the recovery substrate
+(:mod:`repro.runtime.recovery` replays failed steps from the last
+snapshot), which imposes two durability guarantees:
+
+- **Atomic writes.**  :func:`save_checkpoint` writes to a temporary file
+  in the target directory and ``os.replace``\\ s it into place, so a
+  crash mid-save leaves either the previous checkpoint or the new one —
+  never a torn file under the real name.
+- **Typed corruption errors.**  :func:`load_checkpoint` raises
+  :class:`CheckpointCorruptError` for truncated archives, scribbled
+  bytes, or a damaged structure manifest (and
+  :class:`CheckpointError` for a missing file), so restore logic can
+  fall back to an older snapshot instead of crashing on a bare
+  ``zipfile``/``numpy`` internal exception.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import zipfile
 from typing import Any
 
 import numpy as np
 
 from repro.ir.pytree import TreeDef, tree_flatten, tree_unflatten
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "CheckpointError",
+    "CheckpointCorruptError",
+]
 
 _KINDS = {"leaf", "none", "list", "tuple", "dict", "namedtuple", "dataclass"}
+
+
+class CheckpointError(ValueError):
+    """A checkpoint could not be read (missing, unreadable, malformed)."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """The checkpoint file exists but its contents are damaged —
+    truncated archive, scribbled bytes, missing arrays, or a structure
+    manifest that does not parse.  Restore paths catch this and fall
+    back to an older snapshot."""
 
 
 def _treedef_to_json(td: TreeDef) -> dict:
@@ -48,7 +81,9 @@ def _resolve(module: str, qualname: str):
 def _treedef_from_json(d: dict) -> TreeDef:
     kind = d["kind"]
     if kind not in _KINDS:
-        raise ValueError(f"corrupt checkpoint: unknown node kind {kind!r}")
+        raise CheckpointCorruptError(
+            f"corrupt checkpoint: unknown node kind {kind!r}"
+        )
     children = tuple(_treedef_from_json(c) for c in d["children"])
     meta: Any = None
     if kind == "dict":
@@ -60,22 +95,71 @@ def _treedef_from_json(d: dict) -> TreeDef:
     return TreeDef(kind, meta, children)
 
 
-def save_checkpoint(path: str | pathlib.Path, state: Any) -> None:
-    """Write a pytree of arrays/scalars to ``path`` (``.npz``)."""
+def save_checkpoint(
+    path: str | pathlib.Path, state: Any, *, fsync: bool = True
+) -> pathlib.Path:
+    """Write a pytree of arrays/scalars to ``path`` (``.npz``), atomically.
+
+    The archive is assembled in a same-directory temporary file and
+    renamed into place, so a crash mid-save can never leave a torn file
+    under the final name.  Like ``np.savez``, a missing ``.npz`` suffix
+    is appended; the final path is returned.
+
+    ``fsync=False`` skips flushing the archive to stable storage before
+    the rename.  The file is still atomically complete for any reader in
+    the surviving process tree (recovery snapshots use this: they guard
+    against *worker* death, and a host crash kills the driver doing the
+    replaying anyway) — but a machine crash may lose it.  Keep the
+    default for checkpoints that must survive a reboot.
+    """
     leaves, treedef = tree_flatten(state)
     arrays = {f"leaf_{i}": np.asarray(v) for i, v in enumerate(leaves)}
     arrays["__structure__"] = np.frombuffer(
         json.dumps(_treedef_to_json(treedef)).encode(), dtype=np.uint8
     )
-    np.savez(path, **arrays)
+    final = pathlib.Path(path)
+    if final.suffix != ".npz":  # np.savez's suffix semantics, preserved
+        final = final.with_name(final.name + ".npz")
+    tmp = final.with_name(f".{final.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as f:
+            np.savez(f, **arrays)
+            f.flush()
+            if fsync:
+                os.fsync(f.fileno())
+        os.replace(tmp, final)  # atomic within the directory
+    finally:
+        if tmp.exists():  # a failed write never leaves droppings
+            tmp.unlink()
+    return final
 
 
 def load_checkpoint(path: str | pathlib.Path) -> Any:
-    """Rebuild the pytree written by :func:`save_checkpoint`."""
-    with np.load(path, allow_pickle=False) as data:
-        structure = json.loads(bytes(data["__structure__"].tobytes()).decode())
-        treedef = _treedef_from_json(structure)
-        leaves = [data[f"leaf_{i}"] for i in range(treedef.num_leaves)]
-        # 0-d arrays come back as arrays; preserve them as numpy scalars
-        leaves = [v[()] if v.ndim == 0 else v for v in leaves]
+    """Rebuild the pytree written by :func:`save_checkpoint`.
+
+    Raises:
+        CheckpointError: ``path`` does not exist.
+        CheckpointCorruptError: the file exists but is damaged —
+            truncated or scribbled archive, missing arrays, or an
+            unparseable structure manifest.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint {path} does not exist")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            structure = json.loads(
+                bytes(data["__structure__"].tobytes()).decode()
+            )
+            treedef = _treedef_from_json(structure)
+            leaves = [data[f"leaf_{i}"] for i in range(treedef.num_leaves)]
+            # 0-d arrays come back as arrays; preserve them as numpy scalars
+            leaves = [v[()] if v.ndim == 0 else v for v in leaves]
+    except CheckpointError:
+        raise
+    except (zipfile.BadZipFile, KeyError, OSError, EOFError,
+            json.JSONDecodeError, UnicodeDecodeError, ValueError) as e:
+        raise CheckpointCorruptError(
+            f"corrupt checkpoint {path}: {e}"
+        ) from e
     return tree_unflatten(treedef, leaves)

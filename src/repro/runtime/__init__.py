@@ -3,7 +3,10 @@ object stores, ordered P2P channels, and the deterministic dataflow
 executor that doubles as a discrete-event performance simulator — plus
 the process-per-rank backend (``engine="mp"``,
 :mod:`repro.runtime.mp`) that executes the same programs on real OS
-processes and real wall-clock time."""
+processes and real wall-clock time.  Deterministic fault injection
+(:mod:`repro.runtime.faults`) and fault-tolerant step replay
+(:mod:`repro.runtime.recovery`) make rank death a survivable, testable
+event rather than a lost job."""
 
 from repro.runtime.clock import CostModel, LinearCost, ZeroCost
 from repro.runtime.executor import (
@@ -27,6 +30,14 @@ from repro.runtime.instructions import (
     RunTask,
     Send,
 )
+from repro.runtime.faults import (
+    CorruptCheckpoint,
+    DelayMessage,
+    DropMessage,
+    FaultPlan,
+    KillRank,
+    WedgeRank,
+)
 from repro.runtime.mp import DEFAULT_SHM_THRESHOLD, DEFAULT_WATCHDOG_S, execute_mp
 from repro.runtime.pool import (
     DEFAULT_MAX_INFLIGHT,
@@ -34,11 +45,22 @@ from repro.runtime.pool import (
     PoolBackpressureTimeout,
     PoolFuture,
 )
+from repro.runtime.recovery import (
+    RankFailure,
+    RecoveryPolicy,
+    ResilientMesh,
+    ResilientStepFunction,
+    is_recoverable,
+)
 from repro.runtime.store import Buffer, ObjectStore
 
 __all__ = [
     "execute_mp", "DEFAULT_SHM_THRESHOLD", "DEFAULT_WATCHDOG_S",
     "ActorPool", "PoolFuture", "PoolBackpressureTimeout", "DEFAULT_MAX_INFLIGHT",
+    "FaultPlan", "KillRank", "WedgeRank", "DropMessage", "DelayMessage",
+    "CorruptCheckpoint",
+    "RecoveryPolicy", "RankFailure", "ResilientStepFunction", "ResilientMesh",
+    "is_recoverable",
     "CostModel", "ZeroCost", "LinearCost",
     "MpmdExecutor", "CommMode", "DeadlockError", "CommMismatchError",
     "ExecutionResult", "TimelineEvent", "WaitStat", "ENGINES", "TIE_BREAKS",

@@ -219,6 +219,7 @@ class _WorkerSpec:
     shm_threshold: int
     epoch: float  # driver's monotonic base; CLOCK_MONOTONIC is system-wide
     codegen_actor: bool = False  # fuse the instruction loop (runtime.actorgen)
+    faults: Any = None  # RankFaultState for injected chaos (runtime.faults)
 
 
 class _WorkerStop(Exception):
@@ -237,6 +238,7 @@ class _Worker:
         self.rank = spec.rank
         self.program = spec.program
         self.codegen_actor = getattr(spec, "codegen_actor", False)
+        self.faults = getattr(spec, "faults", None)
         self.comm_mode = spec.comm_mode
         self.shm_threshold = spec.shm_threshold
         self.epoch = spec.epoch
@@ -436,6 +438,10 @@ class _Worker:
 
     def exec_send(self, instr: Send) -> None:
         self.require(instr.ref)
+        # injected channel faults: a dropped send is swallowed before any
+        # segment is created (nothing to leak); a delayed send sleeps here
+        if self.faults is not None and self.faults.on_send(instr.dst) == "drop":
+            return
         buf = self.store.get(instr.ref)
         start = self.now()
         payload = _encode_payload(buf.value, self.shm_threshold)
@@ -581,7 +587,13 @@ def _worker_main(spec, send_qs, recv_qs, ack_wait, ack_send, coll, ctrl) -> None
     try:
         worker = _Worker(spec, send_qs, recv_qs, ack_wait, ack_send, coll, ctrl)
         ctrl.put(("hello", spec.rank))
+        # a one-shot run is step 0 of a one-step stream; the fault hooks
+        # mirror the pool worker loop's boundaries exactly
+        if worker.faults is not None:
+            worker.faults.begin_step(0)
         result = worker.run()
+        if worker.faults is not None:
+            worker.faults.end_step(0, payloads=result["buffers"])
         ctrl.put(("done", spec.rank, result))
     except _WorkerStop:
         pass  # error already reported
@@ -624,6 +636,8 @@ def execute_mp(
     watchdog_s: float = DEFAULT_WATCHDOG_S,
     shm_threshold: int = DEFAULT_SHM_THRESHOLD,
     codegen_actor: bool = False,
+    fault_plan: Any = None,
+    generation: int = 0,
 ) -> ExecutionResult:
     """Run one fused program per actor, each in its own OS process.
 
@@ -677,6 +691,11 @@ def execute_mp(
                 shm_threshold=shm_threshold,
                 epoch=epoch,
                 codegen_actor=codegen_actor,
+                faults=(
+                    fault_plan.for_rank(rank, generation)
+                    if fault_plan is not None
+                    else None
+                ),
             )
             send_qs = {d: q for (s, d), q in data_qs.items() if s == rank}
             recv_qs = {s: q for (s, d), q in data_qs.items() if d == rank}

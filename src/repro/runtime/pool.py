@@ -96,6 +96,7 @@ from repro.runtime.mp import (
     _WorkerStop,
     _deadlock_error,
     _decode_payload,
+    _discard_payload,
     _encode_payload,
     _merge_results,
     _reclaim_in_flight,
@@ -284,15 +285,28 @@ class _SubCtrl:
         self.q.put(("sub", self.sid, msg))
 
 
-def _pool_worker_main(rank: int, n: int, inboxes, ctrl) -> None:
+def _pool_worker_main(
+    rank: int, n: int, inboxes, ctrl, fault_plan=None, generation: int = 0
+) -> None:
     """Spawn entry point: serve ship/run commands until shutdown.
 
     One :class:`~repro.runtime.mp._Worker` is built per *run* (fresh
     object store, fresh posted-receive state) over worker-lifetime queue
     shims, so cross-step channel order is exactly the concatenation of
     the per-step orders.
+
+    ``fault_plan``/``generation`` arm deterministic chaos
+    (:mod:`repro.runtime.faults`): faults match against this worker's
+    0-based *run counter* — the pool's submission stream index — at the
+    same step boundaries the one-shot driver uses.  ``faults is None``
+    (no plan, or nothing targeting this rank+generation) is the entire
+    steady-state cost.
     """
     sid = -1
+    faults = (
+        fault_plan.for_rank(rank, generation) if fault_plan is not None else None
+    )
+    step_idx = -1
     try:
         inbox = _Inbox(inboxes[rank])
         peers = dict(enumerate(inboxes))
@@ -328,6 +342,11 @@ def _pool_worker_main(rank: int, n: int, inboxes, ctrl) -> None:
                      f"program {key!r} was never shipped to actor {rank}")
                 )
                 return
+            step_idx += 1
+            if faults is not None:
+                # kill-before / wedge fire here, with the step's encoded
+                # inputs discarded so an injected death leaks no segments
+                faults.begin_step(step_idx, payloads=enc_buffers)
             buffers = {
                 uid: (_decode_payload(payload), nbytes, pinned)
                 for uid, (payload, nbytes, pinned) in enc_buffers.items()
@@ -340,11 +359,16 @@ def _pool_worker_main(rank: int, n: int, inboxes, ctrl) -> None:
                 shm_threshold=shm_threshold,
                 epoch=epoch,
                 codegen_actor=cga,
+                faults=faults,
             )
             worker = _Worker(
                 spec, send_qs, recv_qs, ack_wait, ack_send, coll, sub_ctrl
             )
             result = worker.run()
+            if faults is not None:
+                # kill-after: the step fully executed but its report is
+                # lost — recovery must replay work that already happened
+                faults.end_step(step_idx, payloads=result["buffers"])
             sub_ctrl.put(("done", rank, result))
     except _WorkerStop:
         pass  # error already reported; the pool is dead
@@ -487,6 +511,12 @@ class ActorPool:
             and results) switch to shared-memory segments.
         max_inflight: bound on outstanding submissions — ``submit``
             blocks (or times out) beyond it.
+        fault_plan: optional :class:`repro.runtime.faults.FaultPlan`
+            armed in the workers at spawn (deterministic chaos testing).
+        generation: which pool generation this is (0-based spawn count of
+            the owning mesh) — faults fire only in the generation they
+            name, so a respawned pool does not re-trip the fault that
+            killed its predecessor.
 
     A pool that failed (deadlock, worker death, protocol error) is dead:
     every pending future carries the failure and later ``submit`` calls
@@ -502,6 +532,8 @@ class ActorPool:
         watchdog_s: float | None = None,
         shm_threshold: int | None = None,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        fault_plan: Any = None,
+        generation: int = 0,
     ):
         n_actors = int(n_actors)
         if n_actors < 1:
@@ -553,7 +585,8 @@ class ActorPool:
         for rank in range(n_actors):
             p = ctx.Process(
                 target=_pool_worker_main,
-                args=(rank, n_actors, list(self._inboxes), self._ctrl),
+                args=(rank, n_actors, list(self._inboxes), self._ctrl,
+                      fault_plan, generation),
                 name=f"mpmd-pool-actor-{rank}",
                 daemon=True,
             )
@@ -838,6 +871,9 @@ class ActorPool:
             pending = list(self._subs.values())
             self._subs.clear()
         for sub in pending:
+            # partial done-reports from surviving ranks hold encoded shm
+            # payloads that will never be merged — reclaim them
+            _discard_payload(sub.results)
             sub.future._finish(exc=exc)
             self._slots.release()
         _terminate_procs(self._procs)
@@ -886,6 +922,7 @@ class ActorPool:
         if leftover:  # pragma: no cover - workers wedged during shutdown
             exc = RuntimeError("ActorPool was shut down before completion")
             for sub in leftover:
+                _discard_payload(sub.results)
                 sub.future._finish(exc=exc)
                 self._slots.release()
         _cleanup_queues([*self._inboxes, self._ctrl])

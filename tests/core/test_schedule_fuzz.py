@@ -26,6 +26,7 @@ import numpy as np
 import pytest
 
 from repro import core
+from repro.core.schedule_ir import lower_schedule
 from repro.core.schedules import BWD, BWD_I, BWD_W, FWD, Schedule, Unit
 from tests.core.test_linear_backend import assert_bit_identical, make_problem
 
@@ -206,3 +207,175 @@ class TestScheduleFuzz:
             assert outcome == "valid"
             checked += 1
         assert checked == 3
+
+
+# -- cross-rank dependency-edge mutations (IR-level fuzzing) ---------------
+#
+# The unit-table fuzzer above corrupts *what runs where*; this half
+# corrupts the *resolved edges themselves* — the dicts every consumer
+# (compiler, executor, simulator) walks.  All tampering ops are
+# *coherent*: the forward (``_deps``) and reverse (``_consumers``) tables
+# are updated together, so a checker that merely cross-referenced the two
+# tables would pass.  Only recomputing the edges from the unit dependency
+# structure (``ScheduleIR.check_edges``, run by ``validate``) can notice.
+# The dichotomy is sharper here than for unit tables: *every* genuine
+# edge change diverges from the unit structure and must be rejected; the
+# only survivors are no-op rebuilds, which must execute bit-identically.
+
+
+def _slot_at(ir, key):
+    rank, index = key
+    return ir.slots[rank][index]
+
+
+def _cross_edge_sites(ir):
+    """Every (consumer key, dep position, producing slot) crossing ranks."""
+    return [
+        (key, i, d)
+        for key, deps in ir._deps.items()
+        for i, d in enumerate(deps)
+        if d.rank != key[0]
+    ]
+
+
+def mutate_edges(ir, rng: np.random.RandomState) -> str:
+    """One random in-place mutation of the IR's edge tables; returns the
+    op applied (``"rebuild_noop"`` is the control: no semantic change)."""
+    op = str(rng.choice(
+        ["drop", "redirect", "duplicate", "phantom_consumer", "rebuild_noop"]
+    ))
+    if op == "rebuild_noop":
+        ir._deps = {k: tuple(v) for k, v in ir._deps.items()}
+        ir._consumers = {k: list(v) for k, v in ir._consumers.items()}
+        return op
+    sites = _cross_edge_sites(ir)
+    key, i, dep = sites[int(rng.randint(len(sites)))]
+    consumer = _slot_at(ir, key)
+    deps = list(ir._deps[key])
+    if op == "drop":
+        deps.pop(i)
+        ir._consumers[(dep.rank, dep.index)].remove(consumer)
+    elif op == "redirect":
+        row = ir.slots[dep.rank]
+        new_dep = row[(dep.index + 1 + int(rng.randint(len(row) - 1))) % len(row)]
+        deps[i] = new_dep
+        ir._consumers[(dep.rank, dep.index)].remove(consumer)
+        ir._consumers.setdefault((new_dep.rank, new_dep.index), []).append(consumer)
+    elif op == "duplicate":
+        deps.append(dep)
+        ir._consumers[(dep.rank, dep.index)].append(consumer)
+    elif op == "phantom_consumer":
+        producer = (dep.rank, dep.index)
+        ir._consumers[producer] = ir._consumers[producer] + [consumer]
+    if op != "phantom_consumer":
+        ir._deps[key] = tuple(deps)
+    return op
+
+
+class TestEdgeFuzz:
+    @pytest.mark.parametrize("base", BASES, ids=lambda s: s.name)
+    def test_edge_mutants_rejected_or_bit_identical(self, base):
+        rng = np.random.RandomState(0xE5 + base.n_stages)
+        ts, params, batch, want = _reference(base)
+        outcomes = {"invalid": 0, "valid": 0}
+        for _ in range(30):
+            ir = lower_schedule(base, N_MBS)
+            op = mutate_edges(ir, rng)
+            try:
+                ir.validate()
+            except ValueError:
+                assert op != "rebuild_noop"
+                outcomes["invalid"] += 1
+                continue
+            # a survivor's edge tables provably equal the canonical
+            # lowering, so executing the schedule *is* executing the
+            # mutant IR — and it must stay bit-identical
+            assert op == "rebuild_noop"
+            outcomes["valid"] += 1
+            got = core.RemoteMesh((base.n_actors,)).distributed(
+                ts, schedule=base
+            )(params, batch)
+            assert_bit_identical(want, got)
+        assert outcomes["invalid"] > 0, outcomes
+        assert outcomes["valid"] > 0, outcomes
+
+    def test_dropped_cross_edge_rejected(self):
+        ir = lower_schedule(core.OneFOneB(3), N_MBS)
+        key, i, dep = _cross_edge_sites(ir)[0]
+        deps = list(ir._deps[key])
+        deps.pop(i)
+        ir._deps[key] = tuple(deps)
+        ir._consumers[(dep.rank, dep.index)].remove(_slot_at(ir, key))
+        with pytest.raises(ValueError, match="diverge"):
+            ir.validate()
+
+    def test_redirected_cross_edge_rejected(self):
+        ir = lower_schedule(core.OneFOneB(3), N_MBS)
+        key, i, dep = _cross_edge_sites(ir)[-1]
+        consumer = _slot_at(ir, key)
+        row = ir.slots[dep.rank]
+        new_dep = row[(dep.index + 1) % len(row)]
+        deps = list(ir._deps[key])
+        deps[i] = new_dep
+        ir._deps[key] = tuple(deps)
+        ir._consumers[(dep.rank, dep.index)].remove(consumer)
+        ir._consumers.setdefault((new_dep.rank, new_dep.index), []).append(consumer)
+        with pytest.raises(ValueError, match="diverge"):
+            ir.validate()
+
+    def test_duplicated_cross_edge_rejected(self):
+        ir = lower_schedule(core.ZBH1(3), N_MBS)
+        key, _, dep = _cross_edge_sites(ir)[0]
+        ir._deps[key] = tuple(list(ir._deps[key]) + [dep])
+        ir._consumers[(dep.rank, dep.index)].append(_slot_at(ir, key))
+        with pytest.raises(ValueError, match="diverge"):
+            ir.validate()
+
+    def test_phantom_consumer_rejected(self):
+        ir = lower_schedule(core.GPipe(3), N_MBS)
+        key, _, dep = _cross_edge_sites(ir)[0]
+        ir._consumers[(dep.rank, dep.index)].append(_slot_at(ir, key))
+        with pytest.raises(ValueError, match="consumer edges"):
+            ir.validate()
+
+    def test_truncated_dep_table_rejected(self):
+        ir = lower_schedule(core.OneFOneB(3), N_MBS)
+        del ir._deps[next(iter(ir._deps))]
+        with pytest.raises(ValueError, match="dependency table"):
+            ir.validate()
+
+    def test_unscheduled_dep_rejected(self):
+        ir = lower_schedule(core.OneFOneB(3), N_MBS)
+        key, _, dep = _cross_edge_sites(ir)[0]
+        del ir._slot_of[(dep.unit.mb, dep.unit.stage, dep.unit.kind)]
+        with pytest.raises(ValueError, match="unscheduled"):
+            ir.validate()
+
+    def test_edge_check_passes_every_canonical_lowering(self):
+        for base in BASES:
+            lower_schedule(base, N_MBS).check_edges()
+
+    def test_edge_fuzz_survivors_hold_on_mp_pool(self):
+        """The mp-pool lane: a rebuild-noop mutant's schedule runs through
+        the warm actor pool bit-identically to the event engine."""
+        base = core.OneFOneB(3)
+        ts, params, batch, want = _reference(base)
+        ir = lower_schedule(base, N_MBS)
+        assert mutate_edges(ir, _NoopRng()) == "rebuild_noop"
+        ir.validate()
+        mesh = core.RemoteMesh((base.n_actors,), engine="mp", mp_watchdog_s=60.0)
+        try:
+            got = mesh.distributed(ts, schedule=base)(params, batch)
+            assert_bit_identical(want, got)
+        finally:
+            mesh.close()
+
+
+class _NoopRng:
+    """Degenerate RNG: always picks ``rebuild_noop``."""
+
+    def choice(self, ops):
+        return "rebuild_noop"
+
+    def randint(self, n):  # pragma: no cover - unused for the noop op
+        return 0

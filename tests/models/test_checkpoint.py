@@ -1,4 +1,7 @@
-"""Checkpoint round-trip tests, including resuming distributed training."""
+"""Checkpoint round-trip tests, including resuming distributed training,
+atomic-write semantics, and typed rejection of missing/corrupt files."""
+
+import os
 
 import numpy as np
 import pytest
@@ -6,7 +9,12 @@ import pytest
 from repro import core, ir
 from repro.ir import nn, ops, pipeline_yield
 from repro.models import TrainState, adam_apply, adam_init
-from repro.models.checkpoint import load_checkpoint, save_checkpoint
+from repro.models.checkpoint import (
+    CheckpointCorruptError,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
 from tests.helpers import rng
 
 
@@ -42,6 +50,58 @@ class TestRoundTrip:
             dtype=np.uint8))
         with pytest.raises(ValueError, match="unknown node kind"):
             load_checkpoint(p)
+        # the typed hierarchy: unknown structure is corruption
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(p)
+
+
+class TestHardening:
+    STATE = {"w": np.arange(12, dtype=np.float32).reshape(3, 4),
+             "b": (np.float32(2.0), None)}
+
+    def test_save_returns_final_path_and_appends_suffix(self, tmp_path):
+        p = save_checkpoint(tmp_path / "ckpt", self.STATE)
+        assert p == tmp_path / "ckpt.npz"  # np.savez suffix semantics kept
+        assert p.exists()
+        q = save_checkpoint(tmp_path / "other.npz", self.STATE)
+        assert q == tmp_path / "other.npz"
+
+    def test_atomic_save_leaves_no_droppings(self, tmp_path):
+        save_checkpoint(tmp_path / "a", self.STATE)
+        save_checkpoint(tmp_path / "a", self.STATE)  # overwrite in place
+        assert sorted(f.name for f in tmp_path.iterdir()) == ["a.npz"]
+
+    def test_missing_file_raises_typed_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_truncated_file_rejected(self, tmp_path):
+        p = save_checkpoint(tmp_path / "t", self.STATE)
+        data = p.read_bytes()
+        p.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointCorruptError, match="corrupt checkpoint"):
+            load_checkpoint(p)
+
+    def test_scribbled_file_rejected(self, tmp_path):
+        p = save_checkpoint(tmp_path / "s", self.STATE)
+        size = os.path.getsize(p)
+        with open(p, "r+b") as f:
+            f.seek(size // 2)
+            f.write(b"\xde\xad\xbe\xef" * 8)
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(p)
+
+    def test_non_checkpoint_zip_rejected(self, tmp_path):
+        p = tmp_path / "z.npz"
+        np.savez(p, a=np.ones(3))  # a zip, but no __structure__ member
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(p)
+
+    def test_round_trip_unchanged_by_hardening(self, tmp_path):
+        p = save_checkpoint(tmp_path / "rt", self.STATE)
+        out = load_checkpoint(p)
+        np.testing.assert_array_equal(out["w"], self.STATE["w"])
+        assert out["b"][0] == np.float32(2.0) and out["b"][1] is None
 
 
 class TestResumeTraining:

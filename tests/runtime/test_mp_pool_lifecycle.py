@@ -349,3 +349,67 @@ class TestShutdown:
             )
         pool.shutdown()  # second call is a no-op
         assert pool.closed
+
+
+def _assert_reaped(pids, deadline_s=10.0):
+    """Every pid is fully gone — not running and not a zombie (``/proc``
+    keeps an entry for a dead child until its parent reaps it)."""
+    deadline = time.monotonic() + deadline_s
+    alive = list(pids)
+    while time.monotonic() < deadline:
+        alive = [p for p in alive if os.path.exists(f"/proc/{p}")]
+        if not alive:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"unreaped pool worker pids: {alive}")
+
+
+class TestRespawnHygiene:
+    """Deterministic kill/respawn cycles leak nothing: every dead pool's
+    shared-memory segments return to baseline, every worker process is
+    reaped (no zombies), and the mesh that survived N generations of
+    chaos still computes bit-identical results."""
+
+    N_CYCLES = 4
+
+    def test_kill_respawn_cycles_leak_nothing(self):
+        from repro.runtime import FaultPlan, KillRank
+
+        ts, params, batch = make_problem(2, n_mbs=4)
+        baseline = _shm_count()
+        # one kill armed per pool generation; each respawned pool's
+        # worker-local step counter restarts at 0, so every cycle is one
+        # healthy step followed by one injected death
+        plan = FaultPlan([
+            KillRank(rank=g % 2, at_step=1, generation=g)
+            for g in range(self.N_CYCLES)
+        ])
+        mesh = core.RemoteMesh(
+            (2,), engine="mp", mp_watchdog_s=WATCHDOG_S,
+            mp_shm_threshold=1, fault_plan=plan,
+        )
+        want = None
+        dead_pids: list[int] = []
+        try:
+            step = mesh.distributed(ts, schedule=core.OneFOneB(2))
+            for cycle in range(self.N_CYCLES):
+                out = step(params, batch)  # generation-local step 0
+                if want is None:
+                    want = out
+                else:
+                    assert_bit_identical(want, out)
+                pids = list(mesh._mp_pool.pids)
+                with pytest.raises(RuntimeError, match="died without reporting"):
+                    step(params, batch)  # generation-local step 1
+                dead_pids.extend(pids)
+                assert _settle_to(baseline) <= baseline, (
+                    f"kill/respawn cycle {cycle} leaked shm segments"
+                )
+            # generation N arms nothing: the mesh is healthy again
+            got = step(params, batch)
+            assert_bit_identical(want, got)
+            assert mesh._pool_generation == self.N_CYCLES + 1
+        finally:
+            mesh.close()
+        _assert_reaped(dead_pids)
+        assert _settle_to(baseline) <= baseline
