@@ -208,6 +208,7 @@ class RemoteMesh:
         cost_fn: Callable[..., float] | None = None,
         task_backend: str = "linear",
         memory_budget: float | None = None,
+        optimize: bool | int = True,
     ) -> "StepFunction":
         """Wrap ``train_step`` for MPMD execution on this mesh.
 
@@ -230,6 +231,15 @@ class RemoteMesh:
         the mesh's ``codegen_actor`` whole-actor fusion), or
         ``"interpret"`` (the tree-walking reference, for differential
         testing).
+        ``optimize`` sets the algebraic-optimizer level applied to the
+        stage jaxprs before lowering (:mod:`repro.ir.opt`): ``True``
+        (default) runs the exact level-1 pipeline — CSE, identity
+        elision, cross-boundary DCE, cross-microbatch memoization —
+        guaranteed bit-identical to ``False``; ``2`` additionally
+        reassociates matmul/transpose chains priced by
+        :mod:`repro.perf.kernels` (value-changing in floats).  The
+        per-stage rewrite report is available afterwards as
+        ``step_fn.compiled.opt_report``.
         """
         if isinstance(schedule, str) and schedule != "auto":
             raise ValueError(
@@ -237,7 +247,7 @@ class RemoteMesh:
             )
         fn = StepFunction(
             self, train_step, schedule, comm_strategy, cost_fn, task_backend,
-            memory_budget,
+            memory_budget, optimize,
         )
         if self.recovery is not None:
             from repro.runtime.recovery import ResilientStepFunction
@@ -264,6 +274,7 @@ class StepFunction:
         cost_fn: Callable[..., float] | None,
         task_backend: str = "linear",
         memory_budget: float | None = None,
+        optimize: bool | int = True,
     ):
         self.mesh = mesh
         self.train_step = train_step
@@ -272,6 +283,7 @@ class StepFunction:
         self.cost_fn = cost_fn
         self.task_backend = task_backend
         self.memory_budget = memory_budget
+        self.optimize = optimize
         self.compiled: CompiledStep | None = None
         self.last_result: ExecutionResult | None = None
         self._out_tree = None
@@ -315,6 +327,7 @@ class StepFunction:
             task_backend=self.task_backend,
             n_actors=self.mesh.n_pipeline_actors,
             memory_budget=self.memory_budget,
+            optimize=self.optimize,
         )
         self._out_tree = out_tree
 

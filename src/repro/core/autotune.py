@@ -244,7 +244,15 @@ class CostModel:
         2x FLOPs.  Replay semantics: the model prices *device-busy* time
         only — parked time is deliberately excluded (it belongs to the
         schedule being searched over, not to the workload), which is what
-        makes replay-then-retune sound.
+        makes replay-then-retune sound.  Only *loop-phase* events vote:
+        an optimized run's once-per-step ``memo`` prologues
+        (:mod:`repro.ir.opt` hoisting) carry a ``stage`` too, but they
+        run outside the per-microbatch loop, so folding them into a
+        stage's fwd/bwd rate would skew every per-microbatch estimate by
+        ``1/n_mbs`` of the prologue — they stay in their own
+        ``(stage, "memo")`` bucket, which the pipeline model doesn't
+        price.  (Simulator timelines carry no ``phase`` key and vote as
+        before.)
         """
         from repro.core.stage_split import FUSED_KIND
 
@@ -258,6 +266,9 @@ class CostModel:
 
         for e in result.timeline:
             if e.kind != "task":
+                continue
+            phase = e.meta.get("phase")
+            if phase is not None and phase != "loop":
                 continue
             kind = e.meta.get("unit", e.meta.get("kind"))
             stage = e.meta.get("stage")

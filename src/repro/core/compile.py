@@ -50,6 +50,7 @@ from repro.ir.codegen import codegen
 from repro.ir.interpreter import eval_jaxpr
 from repro.ir.jaxpr import Atom, Eqn, Jaxpr, Literal, Var
 from repro.ir.linearize import linearize
+from repro.ir.opt import normalize_opt_level, optimize_split
 from repro.runtime.instructions import (
     Accumulate,
     AllReduce,
@@ -116,7 +117,21 @@ class CompiledStep:
             tree-walking reference interpreter).
         program_key: process-unique readable id for this compiled step —
             the cache-key prefix under which the persistent mp pool ships
-            and caches its programs worker-side.
+            and caches its programs worker-side.  One traced jaxpr can
+            compile into several *variants* (different ``optimize`` level,
+            task backend, or ``codegen_actor`` fusion), so the key must
+            encode the full variant tuple: ``compile_train_step`` keys are
+            minted as ``step-{n}.{task_backend}.L{opt_level}`` and the
+            pool's actor-fusion path appends its own ``.fused`` marker —
+            two variants of the same step multiplexed on one warm pool
+            never collide in the worker-side cache.
+        opt_level: the algebraic-optimizer level the stage jaxprs were
+            rewritten at (:mod:`repro.ir.opt`): 0 = untouched, 1 = exact
+            rewrites (CSE / DCE / identity elision / cross-microbatch
+            memoization), 2 = adds value-changing reassociation.
+        opt_report: the per-task :class:`~repro.ir.opt.OptReport`
+            (before/after eqn counts and boundary bytes) when the
+            optimizer ran, else ``None``.
     """
 
     n_actors: int
@@ -134,6 +149,8 @@ class CompiledStep:
     program_key: str = dataclasses.field(
         default_factory=lambda: f"step-{next(_PROGRAM_KEYS)}"
     )
+    opt_level: int = 0
+    opt_report: Any = None
 
     @property
     def instruction_counts(self) -> dict[str, int]:
@@ -278,6 +295,7 @@ def compile_train_step(
     task_backend: str = "linear",
     n_actors: int | None = None,
     memory_budget: float | None = None,
+    optimize: bool | int = True,
 ) -> CompiledStep:
     """Lower a traced training step into per-actor instruction programs.
 
@@ -309,6 +327,13 @@ def compile_train_step(
         memory_budget: per-rank live-activation-byte budget for
             ``schedule="auto"`` — candidates whose peak exceeds it are
             excluded from the search.
+        optimize: algebraic-optimizer level for the stage jaxprs
+            (:mod:`repro.ir.opt`).  ``True`` (default) = level 1: CSE,
+            identity elision, cross-boundary DCE, and cross-microbatch
+            memoization — all bit-identical to ``False`` (level 0).
+            ``2`` additionally reassociates matmul/transpose chains
+            priced by :mod:`repro.perf.kernels` (value-changing in
+            floats).  The report lands on ``CompiledStep.opt_report``.
     """
     if comm_strategy not in ("topo", "naive"):
         raise ValueError(f"unknown comm_strategy {comm_strategy!r}")
@@ -359,6 +384,33 @@ def compile_train_step(
     if commute.n_commuted:
         split = split_stages(body)
 
+    # ------------------------------------------------------------------
+    # algebraic optimizer (ir/opt.py): rewrite every stage jaxpr before
+    # linearization — CSE, identity elision, cross-boundary DCE, and
+    # cross-microbatch memoization (level >= 1, bit-identical), plus
+    # priced reassociation at level 2
+    # ------------------------------------------------------------------
+    opt_level = normalize_opt_level(optimize)
+    prologues: dict[int, Any] = {}
+    memo_vars: dict[int, tuple[int, int]] = {}
+    memo_boundary: dict[int, tuple[int, int]] = {}
+    out_aliases: list = []
+    opt_report = None
+    if opt_level > 0:
+        sopt = optimize_split(
+            split,
+            n_batch=n_batch,
+            n_mbs=n_mbs,
+            level=opt_level,
+            elide_sharding=spmd_config is None,
+        )
+        split = sopt.split
+        prologues = sopt.prologues
+        memo_vars = sopt.memo_vars
+        memo_boundary = sopt.memo_boundary
+        out_aliases = sopt.out_aliases
+        opt_report = sopt.report
+
     tasks = split.tasks
     P = schedule.n_actors
     n_actors = P * dp_size
@@ -370,21 +422,36 @@ def compile_train_step(
     for t in tasks:
         for j, v in enumerate(t.out_vars):
             producer[id(v)] = (t.index, j)
+    # deduplicated boundary outputs: extra body vars served by an
+    # already-mapped (task, out_pos) slot
+    for alias_var, alias_t, alias_j in out_aliases:
+        producer[id(alias_var)] = (alias_t, alias_j)
 
     body_invar_pos = {id(v): k for k, v in enumerate(body.invars)}
     task_actor = [schedule.actor_of_stage(t.stage) for t in tasks]
 
     # consumers of each task output: list[(task_idx, out_pos)] -> [task idx]
     out_consumers: dict[tuple[int, int], list[int]] = {}
+    # consumers of each memoized-boundary value: (task, memo out pos) -> [task]
+    memo_consumers: dict[tuple[int, int], list[int]] = {}
     invar_consumers: dict[int, list[int]] = {k: [] for k in range(len(body.invars))}
     for t in tasks:
         for atom in t.in_atoms:
-            if id(atom) in body_invar_pos:
+            if id(atom) in memo_vars:
+                continue  # fed by this task's own memo prologue buffer
+            elif id(atom) in memo_boundary:
+                memo_consumers.setdefault(memo_boundary[id(atom)], []).append(t.index)
+            elif id(atom) in body_invar_pos:
                 invar_consumers[body_invar_pos[id(atom)]].append(t.index)
             elif id(atom) in producer:
                 out_consumers.setdefault(producer[id(atom)], []).append(t.index)
             else:  # pragma: no cover - split invariant
                 raise AssertionError("task input is neither body invar nor task output")
+    # memo prologues consume loop-invariant captures on the task's actor
+    for t_idx, pro in prologues.items():
+        for atom in pro.in_atoms:
+            if id(atom) in body_invar_pos:
+                invar_consumers[body_invar_pos[id(atom)]].append(t_idx)
 
     # body outputs: (task, out_pos) and combine op per output
     body_out_sources: list[tuple[int, int] | None] = []
@@ -600,7 +667,14 @@ def compile_train_step(
     # ------------------------------------------------------------------
     programs: list[list[Instruction]] = [[] for _ in range(n_actors)]
     task_fns = [_make_task_fn(t.jaxpr, spmd_config, task_backend) for t in tasks]
+    memo_fns = {
+        t_idx: _make_task_fn(pro.jaxpr, spmd_config, task_backend)
+        for t_idx, pro in prologues.items()
+    }
     task_costs = [cost_fn(t) if cost_fn else 0.0 for t in tasks]
+
+    def memo_uid(t: int, j: int) -> str:
+        return f"memo.t{t}.o{j}"
 
     # lower the schedule once: the IR's global topological order is §4.2's
     # iteration order, and its resolved edges carry the dependency model
@@ -655,6 +729,56 @@ def compile_train_step(
                         )
                     )
 
+        # --- once-per-step memoized prologues (ir/opt.py hoisting) ---
+        # each runs the loop-invariant prefix of its stage task exactly
+        # once; every microbatch instance then reads the memo buffers.
+        # Memoized *boundary* values additionally ship to cross-actor
+        # consumers here — one transfer per step instead of per microbatch.
+        for t_idx in sorted(prologues):
+            pro = prologues[t_idx]
+            a_local = task_actor[t_idx]
+            memo_in_refs = []
+            for atom in pro.in_atoms:
+                k = body_invar_pos[id(atom)]
+                memo_in_refs.append(
+                    BufferRef(train_atom_uid(loop_eqn.invars[k])[0])
+                )
+            prog(a_local).append(
+                RunTask(
+                    name=f"memo.t{t_idx}",
+                    in_refs=memo_in_refs,
+                    out_refs=[
+                        BufferRef(memo_uid(t_idx, j))
+                        for j in range(len(pro.jaxpr.outvars))
+                    ],
+                    fn=memo_fns[t_idx],
+                    meta={
+                        "phase": "memo",
+                        "stage": tasks[t_idx].stage,
+                        "kind": "memo",
+                        "unit": "memo",
+                        "out_nbytes": [
+                            v.aval.nbytes for v in pro.jaxpr.outvars
+                        ],
+                    },
+                )
+            )
+            for j in range(len(pro.jaxpr.outvars)):
+                memo_sent: set[int] = set()
+                for consumer_t in memo_consumers.get((t_idx, j), []):
+                    dst_local = task_actor[consumer_t]
+                    if dst_local == a_local or dst_local in memo_sent:
+                        continue
+                    memo_sent.add(dst_local)
+                    uid = memo_uid(t_idx, j)
+                    prog(a_local).append(Send(BufferRef(uid), base + dst_local, uid))
+                    prog(dst_local).append(
+                        Recv(
+                            BufferRef(uid), base + a_local, uid,
+                            pro.jaxpr.outvars[j].aval.nbytes,
+                        )
+                    )
+
         # --- the unrolled pipeline (§4.2) ---
         # naive mode: recvs deferred to just before the consuming instance,
         # keyed by (actor, task index, microbatch)
@@ -666,7 +790,11 @@ def compile_train_step(
         def task_in_refs(task: StageTask, mb: int) -> list[BufferRef]:
             refs = []
             for atom in task.in_atoms:
-                if id(atom) in body_invar_pos:
+                if id(atom) in memo_vars:
+                    refs.append(BufferRef(memo_uid(*memo_vars[id(atom)])))
+                elif id(atom) in memo_boundary:
+                    refs.append(BufferRef(memo_uid(*memo_boundary[id(atom)])))
+                elif id(atom) in body_invar_pos:
                     k = body_invar_pos[id(atom)]
                     if k < n_batch:
                         refs.append(BufferRef(f"mb{mb}.bin{k}"))
@@ -948,6 +1076,11 @@ def compile_train_step(
         schedule_ir=sched_ir,
         task_backend=task_backend,
         tune_report=tune_report,
+        # the full variant tuple: same jaxpr at another opt level or task
+        # backend must never share a worker-side program-cache entry
+        program_key=f"step-{next(_PROGRAM_KEYS)}.{task_backend}.L{opt_level}",
+        opt_level=opt_level,
+        opt_report=opt_report,
     )
     literal_placements.extend(const_loop_outputs)
     compiled.literal_placements = literal_placements  # type: ignore[attr-defined]

@@ -454,6 +454,13 @@ class ScheduleIR:
         its forward until its weight-gradient unit retires it (encoded in
         the slots' acquire/release annotations), and its byte weight is
         the producing stage's ``activation_bytes``.
+
+        ``cross_boundary_bytes`` totals the cross-rank dependency edges,
+        each priced at the producing stage's
+        ``cost_model.boundary_bytes`` (0.0 without a cost model) — the
+        wire traffic the algebraic optimizer's boundary pruning and
+        memoization (:mod:`repro.ir.opt`) is in the business of
+        shrinking.
         """
         frac = self.schedule.bwd_input_fraction
 
@@ -463,6 +470,9 @@ class ScheduleIR:
 
             def act_bytes(stage: int) -> float:
                 return cost_model.activation_bytes(stage)
+
+            def bnd_bytes(stage: int) -> float:
+                return cost_model.boundary_bytes(stage)
         else:
             def unit_time(u: Unit) -> float:
                 if u.kind == FWD:
@@ -474,6 +484,9 @@ class ScheduleIR:
             def act_bytes(stage: int) -> float:
                 return 1.0
 
+            def bnd_bytes(stage: int) -> float:
+                return 0.0
+
         finish: dict[tuple[int, int, str], float] = {}
         rank_time = [0.0] * self.n_ranks
         live = [0] * self.n_ranks
@@ -484,6 +497,7 @@ class ScheduleIR:
         # FIFO per (rank, stage) is not tracked; instead charge/credit the
         # released slot's own stage, which matches because forward and its
         # retiring backward share a stage by construction
+        cross_bytes = 0.0
         for slot in self.toposort():
             start = max(
                 [rank_time[slot.rank]] + [finish[d.key] for d in self.deps(slot)]
@@ -496,6 +510,12 @@ class ScheduleIR:
             peak_live[slot.rank] = max(peak_live[slot.rank], live[slot.rank])
             live_bytes[slot.rank] += delta * act_bytes(slot.unit.stage)
             peak_bytes[slot.rank] = max(peak_bytes[slot.rank], live_bytes[slot.rank])
+            # each cross-rank dependency is a send/recv of the producing
+            # stage's boundary bytes; the algebraic optimizer
+            # (ir/opt.py) shrinks exactly this term when it prunes,
+            # dedupes, or memoizes stage outputs
+            for d in self.cross_deps(slot):
+                cross_bytes += bnd_bytes(d.unit.stage)
         makespan = max(rank_time)
         busy = [sum(unit_time(s.unit) for s in row) for row in self.slots]
         return {
@@ -504,6 +524,7 @@ class ScheduleIR:
             "bubble_fraction": 1.0 - sum(busy) / (makespan * self.n_ranks),
             "peak_live_activations": peak_live,
             "peak_activation_bytes": peak_bytes,
+            "cross_boundary_bytes": cross_bytes,
         }
 
     def __repr__(self) -> str:

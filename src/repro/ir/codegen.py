@@ -63,7 +63,6 @@ from __future__ import annotations
 import itertools
 import linecache
 import weakref
-from collections import deque
 from functools import partial
 from typing import Any, Sequence
 
@@ -73,7 +72,7 @@ from repro.ir import tracer
 from repro.ir.dtypes import NP_CANONICAL
 from repro.ir.interpreter import eval_jaxpr
 from repro.ir.jaxpr import Jaxpr
-from repro.ir.linearize import FusedChain, LinearProgram, _consume, linearize
+from repro.ir.linearize import FusedChain, LinearProgram, RecentPins, _consume, linearize
 
 __all__ = ["CodegenProgram", "codegen", "eval_jaxpr_codegen"]
 
@@ -840,7 +839,10 @@ class CodegenProgram:
 _programs: "weakref.WeakValueDictionary[int, CodegenProgram]" = (
     weakref.WeakValueDictionary()
 )
-_recent: deque = deque(maxlen=128)
+#: shared pinning helper (see :class:`repro.ir.linearize.RecentPins`):
+#: refreshed on hit *and* miss so hot programs never age out of the pin
+#: set while 128 other lowerings stream past
+_recent = RecentPins(maxlen=128)
 
 
 def codegen(jaxpr: Jaxpr) -> CodegenProgram:
@@ -849,7 +851,7 @@ def codegen(jaxpr: Jaxpr) -> CodegenProgram:
     if prog is None or prog.jaxpr is not jaxpr:
         prog = CodegenProgram(jaxpr)
         _programs[id(jaxpr)] = prog
-        _recent.append(prog)
+    _recent.touch(prog)
     return prog
 
 

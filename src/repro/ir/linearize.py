@@ -59,7 +59,7 @@ differential-test pattern (``engine="roundrobin"`` in the runtime).
 from __future__ import annotations
 
 import weakref
-from collections import deque
+from collections import OrderedDict
 from functools import partial
 from typing import Any, Callable, Sequence
 
@@ -553,14 +553,51 @@ class LinearProgram:
 # one lowering amortizes over the whole schedule
 # ---------------------------------------------------------------------------
 
+class RecentPins:
+    """LRU strong-pin set for weak program caches.
+
+    The program caches here and in :mod:`repro.ir.codegen` are
+    weak-valued; these pins are what keeps a program alive when nothing
+    else holds it (the eager ``accumulate_grads`` reference path).  The
+    pin must be refreshed on every cache *hit*, not only on misses — the
+    old miss-only deque silently evicted a hot program after 128 other
+    lowerings, re-lowering it on every subsequent step.  ``touch`` is
+    LRU with identity-deduped entries: a re-touched program moves to the
+    back instead of occupying multiple slots.
+    """
+
+    def __init__(self, maxlen: int = 128):
+        self.maxlen = maxlen
+        self._pins: "OrderedDict[int, Any]" = OrderedDict()
+
+    def touch(self, prog: Any) -> None:
+        key = id(prog)
+        if self._pins.get(key) is prog:
+            self._pins.move_to_end(key)
+            return
+        self._pins[key] = prog
+        while len(self._pins) > self.maxlen:
+            self._pins.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._pins)
+
+    def __contains__(self, prog: Any) -> bool:
+        return self._pins.get(id(prog)) is prog
+
+    def clear(self) -> None:
+        self._pins.clear()
+
+
 #: compiled programs keyed on jaxpr identity.  Values are weak — a program
 #: lives exactly as long as someone (a CompiledStep's RunTask, the pin
 #: below) holds it, and each program keeps its jaxpr alive, so a dead
 #: entry can never be confused with a recycled ``id()``.
 _programs: "weakref.WeakValueDictionary[int, LinearProgram]" = weakref.WeakValueDictionary()
 #: strong pins for recently linearized programs (keeps the eager
-#: ``accumulate_grads`` reference path from re-lowering every step)
-_recent: deque = deque(maxlen=128)
+#: ``accumulate_grads`` reference path from re-lowering every step);
+#: refreshed on hit *and* miss so hot programs never age out
+_recent = RecentPins(maxlen=128)
 
 
 def linearize(jaxpr: Jaxpr) -> LinearProgram:
@@ -569,7 +606,7 @@ def linearize(jaxpr: Jaxpr) -> LinearProgram:
     if prog is None or prog.jaxpr is not jaxpr:
         prog = LinearProgram(jaxpr)
         _programs[id(jaxpr)] = prog
-        _recent.append(prog)
+    _recent.touch(prog)
     return prog
 
 

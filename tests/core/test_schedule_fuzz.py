@@ -379,3 +379,135 @@ class _NoopRng:
 
     def randint(self, n):  # pragma: no cover - unused for the noop op
         return 0
+
+
+# -- optimizer-lane fuzzing (algebraic rewrites, ir/opt.py) ----------------
+#
+# The fuzzers above corrupt schedules and edges; this lane stresses the
+# *optimizer* with adversarial stage bodies — duplicated subtrees (CSE
+# must merge them without changing bits), duplicated yields of one value
+# (boundary dedup + out_aliases routing), and stop_gradient chains
+# (identity elision).  The dichotomy here is exactness: at opt_level<=1
+# every randomly generated problem must compile and run bit-identically
+# to its unoptimized twin on every engine; at opt_level=2 (reassociation
+# changes FP summation order) results must stay allclose.
+
+
+def random_opt_problem(seed, n_stages=3, d=6, mbsz=4, n_mbs=4):
+    """A random MLP train step whose stage bodies embed optimizer bait."""
+    r = np.random.RandomState(seed)
+    from repro.ir import nn, ops, pipeline_yield
+
+    params = {
+        f"w{i}": (r.randn(d, d) * 0.4).astype(np.float32)
+        for i in range(n_stages)
+    }
+    X = r.randn(n_mbs, mbsz, d).astype(np.float32)
+    Y = r.randn(n_mbs, mbsz, d).astype(np.float32)
+    tricks = [
+        str(r.choice(["dup", "dup_yield", "stopgrad", "plain"]))
+        for _ in range(n_stages)
+    ]
+    # a duplicated yield is an extra stage boundary (stages = yields + 1):
+    # the schedule must cover the widened pipeline
+    n_model_stages = n_stages + sum(
+        1 for i, t in enumerate(tricks) if t == "dup_yield" and i < n_stages - 1
+    )
+
+    def loss_fn(p, mb):
+        x, y = mb
+        h = x
+        for i in range(n_stages):
+            w = p[f"w{i}"]
+            last = i == n_stages - 1
+            if tricks[i] == "dup":
+                # same subtree twice: CSE bait (identical bits by IEEE)
+                a = ops.matmul(h, w)
+                b = ops.matmul(h, w)
+                h = ops.mul(ops.add(a, b), 0.5)
+            elif tricks[i] == "stopgrad":
+                h = ops.add(
+                    ops.matmul(h, w),
+                    ops.mul(ops.stop_gradient(ops.matmul(h, w)), 0.25),
+                )
+            else:
+                h = ops.matmul(h, w)
+            if not last:
+                h = nn.relu(h)
+                if tricks[i] == "dup_yield":
+                    # one value yielded twice: boundary-dedup bait
+                    h = ops.mul(
+                        ops.add(pipeline_yield(h), pipeline_yield(h)), 0.5
+                    )
+                else:
+                    h = pipeline_yield(h)
+        return ops.mean((h - y) ** 2.0)
+
+    def train_step(p, batch):
+        from repro import ir
+
+        def microbatch_grads(mb):
+            loss, grads = ir.value_and_grad(loss_fn)(p, mb)
+            return grads, loss
+
+        grads, loss = core.accumulate_grads(microbatch_grads, None)(batch)
+        new = ir.tree_map(
+            lambda w, g: w - np.float32(0.1) * g, p, grads
+        )
+        return new, loss
+
+    return train_step, params, (X, Y), tricks, n_model_stages
+
+
+class TestOptimizerFuzz:
+    def test_level1_bit_identical_across_random_problems(self):
+        optimized_somewhere = 0
+        for seed in range(8):
+            ts, params, batch, tricks, n_model = random_opt_problem(seed)
+            base = core.OneFOneB(n_model)
+            outs = {}
+            for lvl in (False, True):
+                mesh = core.RemoteMesh((base.n_actors,))
+                step = mesh.distributed(ts, schedule=base, optimize=lvl)
+                outs[lvl] = step(params, batch)
+                if lvl:
+                    rep = step.compiled.opt_report
+                    if rep.eqns_after < rep.eqns_before:
+                        optimized_somewhere += 1
+            assert_bit_identical(outs[False], outs[True]), (seed, tricks)
+        # the bait must actually trigger rewrites, not just pass through
+        assert optimized_somewhere > 0
+
+    def test_level2_allclose_across_random_problems(self):
+        for seed in range(3):
+            ts, params, batch, tricks, n_model = random_opt_problem(seed + 100)
+            base = core.OneFOneB(n_model)
+            mesh0 = core.RemoteMesh((base.n_actors,))
+            want = mesh0.distributed(ts, schedule=base, optimize=False)(
+                params, batch
+            )
+            mesh2 = core.RemoteMesh((base.n_actors,))
+            got = mesh2.distributed(ts, schedule=base, optimize=2)(
+                params, batch
+            )
+            _assert_allclose(want, got)
+
+    def test_level1_fuzz_problem_holds_on_mp_pool(self):
+        """One randomly generated bait problem through the warm actor
+        pool: the optimized programs (memo prologues included) execute on
+        real OS processes bit-identically to the event engine."""
+        ts, params, batch, _, n_model = random_opt_problem(5)
+        base = core.OneFOneB(n_model)
+        want = core.RemoteMesh((base.n_actors,)).distributed(
+            ts, schedule=base, optimize=True
+        )(params, batch)
+        mesh = core.RemoteMesh(
+            (base.n_actors,), engine="mp", mp_watchdog_s=60.0
+        )
+        try:
+            got = mesh.distributed(ts, schedule=base, optimize=True)(
+                params, batch
+            )
+            assert_bit_identical(want, got)
+        finally:
+            mesh.close()

@@ -399,3 +399,71 @@ class TestProgramBehaviour:
         s = prog.stats
         assert s["n_instructions"] < s["n_eqns"]
         assert s["vm_calls_per_run"] < s["interp_calls_per_run"]
+
+
+class TestProgramCachePins:
+    """The weak program cache's strong-pin set (:class:`RecentPins`).
+
+    Regression for the miss-only pin bug: the pin deque used to be
+    appended only on cache miss, so a hot program whose sole strong
+    holder was the pin (the eager ``accumulate_grads`` path) aged out
+    after 128 *other* lowerings and silently re-lowered every step.
+    Pins must refresh on hit, and repeated touches of one program must
+    not consume multiple pin slots.
+    """
+
+    def _fresh_jaxpr(self, seed):
+        x = np.float32(seed)
+        jaxpr, _, _ = ir.trace(lambda x: ops.mul(ops.add(x, 1.0), 2.0), x)
+        return jaxpr
+
+    def test_hot_program_survives_129_interleaved_lowerings(self):
+        import gc
+
+        hot = self._fresh_jaxpr(0)
+        hot_prog_id = id(linearize(hot))
+        # interleave: touch the hot program (hit), then lower a fresh
+        # jaxpr (miss).  N > maxlen would evict the hot pin under
+        # miss-only appends; with on-hit refresh it stays the most
+        # recently used pin throughout.
+        cold = []  # keep cold jaxprs alive so ids stay distinct
+        for i in range(1, 140):
+            assert id(linearize(hot)) == hot_prog_id
+            cold.append(self._fresh_jaxpr(i))
+            linearize(cold[-1])
+        gc.collect()
+        # same object => never re-lowered (the only strong holder was the pin)
+        assert id(linearize(hot)) == hot_prog_id
+
+    def test_codegen_cache_shares_pin_semantics(self):
+        import gc
+
+        from repro.ir.codegen import codegen
+
+        hot = self._fresh_jaxpr(1000)
+        hot_prog_id = id(codegen(hot))
+        cold = []
+        for i in range(1, 140):
+            assert id(codegen(hot)) == hot_prog_id
+            cold.append(self._fresh_jaxpr(1000 + i))
+            codegen(cold[-1])
+        gc.collect()
+        assert id(codegen(hot)) == hot_prog_id
+
+    def test_touch_dedupes_slots(self):
+        from repro.ir.linearize import RecentPins
+
+        pins = RecentPins(maxlen=4)
+        progs = [object() for _ in range(3)]
+        for _ in range(10):
+            for p in progs:
+                pins.touch(p)
+        assert len(pins) == 3
+        assert all(p in pins for p in progs)
+        # LRU eviction beyond maxlen evicts the least recently touched
+        extra = [object(), object()]
+        pins.touch(extra[0])
+        pins.touch(extra[1])
+        assert progs[0] not in pins
+        assert progs[1] in pins and extra[0] in pins and extra[1] in pins
+        assert len(pins) == 4

@@ -1,0 +1,395 @@
+"""Unit tests for the algebraic optimizer (:mod:`repro.ir.opt`).
+
+The local pipeline (CSE / identity elision / DCE / level-2
+reassociation) is checked eqn-by-eqn on handcrafted jaxprs; the
+cross-stage sweep (:func:`optimize_split`) on real ``split_stages``
+outputs.  End-to-end bit-identity of optimized compiled steps lives in
+``tests/core/test_opt_backend.py`` — here we pin the *structural*
+contract: what each rewrite may remove, what it must preserve.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import ir
+from repro.core.stage_split import SplitResult, split_stages
+from repro.ir import nn, ops, pipeline_yield
+from repro.ir.jaxpr import Eqn, Jaxpr, Var, validate
+from repro.ir.opt import (
+    OPT_LEVELS,
+    OptReport,
+    default_matmul_price,
+    normalize_opt_level,
+    optimize_jaxpr,
+    optimize_split,
+    used_invars,
+)
+from tests.helpers import rng
+
+
+def _f32(*shape, seed=0):
+    return rng(seed).randn(*shape).astype(np.float32)
+
+
+class TestNormalizeOptLevel:
+    def test_bools(self):
+        assert normalize_opt_level(True) == 1
+        assert normalize_opt_level(False) == 0
+
+    @pytest.mark.parametrize("level", OPT_LEVELS)
+    def test_explicit_levels(self, level):
+        assert normalize_opt_level(level) == level
+
+    @pytest.mark.parametrize("bad", [-1, 3, 7])
+    def test_out_of_range_rejected(self, bad):
+        with pytest.raises(ValueError, match="optimize"):
+            normalize_opt_level(bad)
+
+    def test_bad_level_rejected_by_optimize_jaxpr(self):
+        jaxpr, _, _ = ir.trace(lambda x: ops.add(x, 1.0), _f32(2))
+        with pytest.raises(ValueError, match="opt level"):
+            optimize_jaxpr(jaxpr, 5)
+
+
+class TestCSE:
+    def test_duplicate_subexpression_merged(self):
+        def f(x, y):
+            a = ops.tanh(ops.matmul(x, y))
+            b = ops.tanh(ops.matmul(x, y))
+            return ops.add(a, b)
+
+        x, y = _f32(3, 4, seed=1), _f32(4, 4, seed=2)
+        jaxpr, _, _ = ir.trace(f, x, y)
+        out, stats = optimize_jaxpr(jaxpr)
+        assert stats.cse_removed == 2  # one matmul + one tanh
+        assert out.n_eqns == jaxpr.n_eqns - 2
+        np.testing.assert_array_equal(
+            ir.eval_jaxpr(jaxpr, [x, y])[0], ir.eval_jaxpr(out, [x, y])[0]
+        )
+
+    def test_commutative_operands_canonicalized(self):
+        def f(x, y):
+            return ops.sub(ops.add(x, y), ops.add(y, x))
+
+        x, y = _f32(3, seed=1), _f32(3, seed=2)
+        jaxpr, _, _ = ir.trace(f, x, y)
+        out, stats = optimize_jaxpr(jaxpr)
+        assert stats.cse_removed == 1
+        np.testing.assert_array_equal(
+            ir.eval_jaxpr(out, [x, y])[0], np.zeros(3, np.float32)
+        )
+
+    def test_noncommutative_not_merged(self):
+        def f(x, y):
+            return ops.add(ops.sub(x, y), ops.sub(y, x))
+
+        jaxpr, _, _ = ir.trace(f, _f32(3, seed=1), _f32(3, seed=2))
+        _, stats = optimize_jaxpr(jaxpr)
+        assert stats.cse_removed == 0
+
+    def test_small_literals_merge_by_value(self):
+        def f(x):
+            return ops.add(ops.mul(x, 2.0), ops.mul(x, 2.0))
+
+        x = _f32(3)
+        jaxpr, _, _ = ir.trace(f, x)
+        out, stats = optimize_jaxpr(jaxpr)
+        assert stats.cse_removed == 1
+        np.testing.assert_array_equal(
+            ir.eval_jaxpr(jaxpr, [x])[0], ir.eval_jaxpr(out, [x])[0]
+        )
+
+    def test_identity_elision_stop_gradient(self):
+        def f(x):
+            return ops.add(ops.stop_gradient(x), ops.stop_gradient(x))
+
+        x = _f32(3)
+        jaxpr, _, _ = ir.trace(f, x)
+        out, stats = optimize_jaxpr(jaxpr)
+        assert stats.identity_elided == 2
+        assert [e.prim.name for e in out.eqns] == ["add"]
+        np.testing.assert_array_equal(
+            ir.eval_jaxpr(out, [x])[0], (x + x).astype(np.float32)
+        )
+
+    def test_pipeline_yield_elided(self):
+        def f(x):
+            return ops.mul(pipeline_yield(x), 3.0)
+
+        jaxpr, _, _ = ir.trace(f, _f32(3))
+        out, stats = optimize_jaxpr(jaxpr)
+        assert stats.identity_elided == 1
+        assert all(e.prim.name != "pipeline_yield" for e in out.eqns)
+
+    def test_level_zero_is_a_noop(self):
+        def f(x):
+            return ops.add(ops.tanh(x), ops.tanh(x))
+
+        jaxpr, _, _ = ir.trace(f, _f32(3))
+        out, stats = optimize_jaxpr(jaxpr, 0)
+        assert out is jaxpr
+        assert stats.removed == 0
+
+
+class TestDCE:
+    def test_dead_chain_removed(self):
+        # build the dead chain by hand: the tracer's own DCE would never
+        # record it, but optimize_split creates exactly this shape when a
+        # boundary output is pruned
+        x = Var(ir.ShapedArray((3,), ir.float32))
+        live = Var(ir.ShapedArray((3,), ir.float32))
+        d1 = Var(ir.ShapedArray((3,), ir.float32))
+        d2 = Var(ir.ShapedArray((3,), ir.float32))
+        jaxpr = Jaxpr(
+            [x],
+            [
+                Eqn(ops.tanh_p, [x], [live], {}),
+                Eqn(ops.mul_p, [x, x], [d1], {}),
+                Eqn(ops.add_p, [d1, x], [d2], {}),
+            ],
+            [live],
+        )
+        validate(jaxpr)
+        out, stats = optimize_jaxpr(jaxpr)
+        assert stats.dce_removed == 2
+        assert [e.prim.name for e in out.eqns] == ["tanh"]
+
+    def test_used_invars_mask(self):
+        x = Var(ir.ShapedArray((3,), ir.float32))
+        unused = Var(ir.ShapedArray((3,), ir.float32))
+        y = Var(ir.ShapedArray((3,), ir.float32))
+        jaxpr = Jaxpr([x, unused], [Eqn(ops.tanh_p, [x], [y], {})], [y])
+        assert used_invars(jaxpr) == [True, False]
+
+
+class TestLevel2Reassociation:
+    def test_transpose_transpose_aliases_to_source(self):
+        def f(x):
+            return ops.add(ops.transpose(ops.transpose(x)), 1.0)
+
+        x = _f32(3, 4)
+        jaxpr, _, _ = ir.trace(f, x)
+        out, stats = optimize_jaxpr(jaxpr, 2)
+        assert stats.reassociated >= 1
+        assert all(e.prim.name != "transpose" for e in out.eqns)
+        np.testing.assert_array_equal(
+            ir.eval_jaxpr(out, [x])[0], (x + 1.0).astype(np.float32)
+        )
+
+    def test_matmul_chain_reassociated_when_cheaper(self):
+        # (x @ y) @ z with a tall x and skinny z: right association
+        # contracts y @ z first, saving ~20x the FLOPs — the kernel
+        # price must prefer it
+        def f(x, y, z):
+            return ops.matmul(ops.matmul(x, y), z)
+
+        x, y, z = _f32(128, 64, seed=1), _f32(64, 64, seed=2), _f32(64, 2, seed=3)
+        jaxpr, _, _ = ir.trace(f, x, y, z)
+        out, stats = optimize_jaxpr(jaxpr, 2)
+        assert stats.reassociated == 1
+        # still two matmuls, but the first now contracts y @ z
+        mm = [e for e in out.eqns if e.prim.name == "matmul"]
+        assert len(mm) == 2
+        assert mm[0].outvars[0].aval.shape == (64, 2)
+        np.testing.assert_allclose(
+            ir.eval_jaxpr(out, [x, y, z])[0],
+            ir.eval_jaxpr(jaxpr, [x, y, z])[0],
+            rtol=1e-4, atol=1e-5,
+        )
+
+    def test_matmul_chain_kept_when_not_cheaper(self):
+        # fat x: left association is already optimal
+        def f(x, y, z):
+            return ops.matmul(ops.matmul(x, y), z)
+
+        jaxpr, _, _ = ir.trace(
+            f, _f32(64, 2, seed=1), _f32(2, 2, seed=2), _f32(2, 64, seed=3)
+        )
+        _, stats = optimize_jaxpr(jaxpr, 2)
+        assert stats.reassociated == 0
+
+    def test_level_1_never_reassociates(self):
+        def f(x, y, z):
+            return ops.matmul(ops.matmul(x, y), z)
+
+        jaxpr, _, _ = ir.trace(
+            f, _f32(128, 64, seed=1), _f32(64, 64, seed=2), _f32(64, 2, seed=3)
+        )
+        _, stats = optimize_jaxpr(jaxpr, 1)
+        assert stats.reassociated == 0
+
+    def test_price_is_monotone_with_dispatch_floor(self):
+        price = default_matmul_price()
+        assert price(0.0) > 0.0  # dispatch overhead
+        assert price(1e9) < price(2e9)
+
+
+# -- the cross-stage sweep over a real SplitResult --------------------------
+
+
+def _mlp_split(n_stages=3, d=8, mbsz=4, dup_yield=False):
+    """Stage-split fwd+bwd body of an MLP; optionally yield h twice so the
+    producer's boundary carries a duplicated output."""
+    r = rng(0)
+    params = {
+        f"w{i}": (r.randn(d, d) * 0.4).astype(np.float32)
+        for i in range(n_stages)
+    }
+    X = r.randn(mbsz, d).astype(np.float32)
+    Y = r.randn(mbsz, d).astype(np.float32)
+
+    def loss_fn(p, x, y):
+        h = x
+        for i in range(n_stages):
+            w = p[f"w{i}"]
+            h = nn.relu(ops.matmul(h, w)) if i < n_stages - 1 else ops.matmul(h, w)
+            if i < n_stages - 1:
+                if dup_yield and i == 0:
+                    h = ops.add(pipeline_yield(h), pipeline_yield(h))
+                    h = ops.mul(h, 0.5)
+                else:
+                    h = pipeline_yield(h)
+        return ops.mean((h - y) ** 2.0)
+
+    def body(p, x, y):
+        loss, grads = ir.value_and_grad(loss_fn)(p, x, y)
+        return grads, loss
+
+    jaxpr, _, _ = ir.trace(body, params, X, Y)
+    return split_stages(jaxpr), len(params) + 2  # n leaves incl. x, y
+
+
+class TestOptimizeSplit:
+    def test_level0_preserves_everything(self):
+        split, _ = _mlp_split()
+        opt = optimize_split(split, n_batch=2, n_mbs=4, level=0)
+        assert opt.split is split
+        assert not opt.prologues and not opt.memo_vars and not opt.memo_boundary
+        assert opt.report.level == 0
+        assert opt.report.eqns_before == opt.report.eqns_after
+
+    def test_bad_level_rejected(self):
+        split, _ = _mlp_split()
+        with pytest.raises(ValueError, match="opt level"):
+            optimize_split(split, n_batch=2, n_mbs=4, level=9)
+
+    def test_rewritten_tasks_validate_and_shrink(self):
+        split, _ = _mlp_split()
+        opt = optimize_split(split, n_batch=2, n_mbs=4)
+        assert opt.report.eqns_after < opt.report.eqns_before
+        for task in opt.split.tasks:
+            validate(task.jaxpr)
+            assert len(task.in_atoms) == len(task.jaxpr.invars)
+        # task identity/ordering metadata untouched
+        assert [t.index for t in opt.split.tasks] == [
+            t.index for t in split.tasks
+        ]
+        assert [t.kind for t in opt.split.tasks] == [t.kind for t in split.tasks]
+
+    def test_backward_weight_transposes_hoisted(self):
+        # x and y are microbatched; the w transposes in the backward
+        # depend only on captured weights, so every bwd task gets a
+        # prologue and its pseudo in_atoms land in memo_vars
+        split, _ = _mlp_split()
+        opt = optimize_split(split, n_batch=2, n_mbs=4)
+        assert opt.prologues
+        body_invar_pos = {id(v): k for k, v in enumerate(split.body.invars)}
+        for t_idx, pro in opt.prologues.items():
+            validate(pro.jaxpr)
+            assert len(pro.in_atoms) == len(pro.jaxpr.invars)
+            assert len(pro.out_vars) == len(pro.jaxpr.outvars)
+            # prologue inputs are loop-invariant body invars (weights):
+            # positions at/after n_batch in the body signature
+            for a in pro.in_atoms:
+                assert body_invar_pos[id(a)] >= 2
+            for j, pv in enumerate(pro.out_vars):
+                if pv is not None:
+                    assert opt.memo_vars[id(pv)] == (t_idx, j)
+        # every memo pseudo var appears in exactly one task's in_atoms
+        pseudo_uses = {
+            id(a)
+            for t in opt.split.tasks
+            for a in t.in_atoms
+            if id(a) in opt.memo_vars
+        }
+        assert pseudo_uses == set(opt.memo_vars)
+
+    def test_memoization_gated_on_n_mbs(self):
+        split, _ = _mlp_split()
+        opt = optimize_split(split, n_batch=2, n_mbs=1)
+        assert not opt.prologues
+        assert not opt.memo_vars
+
+    def test_duplicate_yield_dedupes_boundary(self):
+        split, _ = _mlp_split(dup_yield=True)
+        opt = optimize_split(split, n_batch=2, n_mbs=4)
+        entry = next(
+            e for e in opt.report.tasks if e.kind == "fwd" and e.stage == 0
+        )
+        assert entry.outputs_deduped >= 1
+        assert entry.boundary_bytes_after < entry.boundary_bytes_before
+        assert any(t_idx == entry.index for _, t_idx, _ in opt.out_aliases)
+        # the aliased body var resolves to a surviving out position
+        task = opt.split.tasks[entry.index]
+        for _, t_idx, pos in opt.out_aliases:
+            assert 0 <= pos < len(opt.split.tasks[t_idx].out_vars)
+        assert task.out_vars  # dedup never empties the boundary
+
+    def test_dead_boundary_output_pruned_with_its_chain(self):
+        # splice a dead escaping output into the stage-0 forward: an
+        # extra eqn chain ending in a boundary var nobody consumes.  The
+        # reverse sweep must prune the output and DCE the chain.
+        split, _ = _mlp_split()
+        t_idx = split.fwd_task_of_stage[0]
+        task = split.tasks[t_idx]
+        src = task.jaxpr.outvars[0]
+        dead_local = Var(src.aval)
+        dead_body = Var(src.aval)
+        jaxpr = Jaxpr(
+            task.jaxpr.invars,
+            list(task.jaxpr.eqns) + [Eqn(ops.mul_p, [src, src], [dead_local], {})],
+            list(task.jaxpr.outvars) + [dead_local],
+        )
+        validate(jaxpr)
+        tasks = list(split.tasks)
+        tasks[t_idx] = dataclasses.replace(
+            task, jaxpr=jaxpr, out_vars=list(task.out_vars) + [dead_body]
+        )
+        split = SplitResult(
+            tasks=tasks,
+            n_stages=split.n_stages,
+            fwd_task_of_stage=dict(split.fwd_task_of_stage),
+            bwd_task_of_stage=dict(split.bwd_task_of_stage),
+            assignment=dict(split.assignment),
+            body=split.body,
+        )
+        opt = optimize_split(split, n_batch=2, n_mbs=4)
+        entry = next(e for e in opt.report.tasks if e.index == t_idx)
+        assert entry.outputs_pruned == 1
+        assert entry.boundary_bytes_after < entry.boundary_bytes_before
+        new_task = opt.split.tasks[t_idx]
+        assert all(v is not dead_body for v in new_task.out_vars)
+        assert all(
+            v is not dead_local
+            for e in new_task.jaxpr.eqns
+            for v in e.outvars
+        )
+
+    def test_report_summary_and_stage_reduction(self):
+        split, _ = _mlp_split()
+        opt = optimize_split(split, n_batch=2, n_mbs=4)
+        text = opt.report.summary()
+        assert "opt_level=1" in text
+        assert f"{opt.report.eqns_before} -> {opt.report.eqns_after}" in text
+        red = opt.report.stage_eqn_reduction()
+        assert set(red) == set(range(split.n_stages))
+        assert all(0.0 <= r < 1.0 for r in red.values())
+
+    def test_report_is_a_fresh_object_per_call(self):
+        split, _ = _mlp_split()
+        a = optimize_split(split, n_batch=2, n_mbs=4).report
+        b = optimize_split(split, n_batch=2, n_mbs=4).report
+        assert isinstance(a, OptReport) and a is not b
+        assert a.eqns_after == b.eqns_after

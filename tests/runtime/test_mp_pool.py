@@ -247,3 +247,44 @@ class TestWiring:
         assert_bit_identical(want, got)
         assert mesh._mp_pool is not None and mesh._mp_pool is not first_pool
         mesh.close()
+
+
+class TestOptLevelMultiplex:
+    def test_two_opt_levels_share_one_warm_pool(self):
+        """The same train step compiled at ``optimize=False`` and
+        ``optimize=True`` multiplexes through one warm pool: the worker
+        program caches key the two variants separately (distinct
+        ``.L{level}`` program keys, one ship each), and every interleaved
+        submission stays bit-identical to its own event-engine reference.
+        A collision — a worker running the L0 programs for an L1 submit
+        or vice versa — would show up as the optimized result (memo
+        prologues, pruned boundaries) leaking into the baseline lane."""
+        schedule = core.OneFOneB(2)
+        ts, params, batch = make_problem(2, n_mbs=4)
+        want = {}
+        for lvl in (False, True):
+            want[lvl] = _mesh(schedule, "event").distributed(
+                ts, schedule=schedule, optimize=lvl
+            )(params, batch)
+        assert_bit_identical(want[False], want[True])  # L1 is exact
+
+        mesh = _mesh(schedule, "mp")
+        try:
+            steps = {
+                lvl: mesh.distributed(ts, schedule=schedule, optimize=lvl)
+                for lvl in (False, True)
+            }
+            keys = {lvl: None for lvl in steps}
+            for _ in range(3):  # interleave: L0, L1, L0, L1, ...
+                for lvl, step in steps.items():
+                    assert_bit_identical(want[lvl], step(params, batch))
+                    keys[lvl] = step.compiled.program_key
+            assert ".L0" in keys[False] and ".L1" in keys[True]
+            assert keys[False] != keys[True]
+            pool = mesh._mp_pool
+            assert pool.submit_count == 6
+            # each variant pickled to the workers exactly once; the four
+            # re-submissions hit the worker-side cache
+            assert pool.ship_count == 2
+        finally:
+            mesh.close()
